@@ -1,0 +1,59 @@
+"""Ablation: number of loss-homogenized trees under a 4-point population.
+
+The paper uses two loss classes.  With a richer (4-point) loss population,
+does finer partitioning keep paying?  Two trees already capture most of
+the gain; four capture a bit more.
+"""
+
+from repro.analysis.losshomog import (
+    TreeSpec,
+    multi_tree_cost,
+    one_keytree_cost,
+)
+from repro.experiments.report import Series
+
+from bench_utils import emit
+
+N, L, D = 65_536, 256, 4
+# A 4-point population: rates and fractions.
+POPULATION = ((0.30, 0.05), (0.20, 0.15), (0.05, 0.30), (0.01, 0.50))
+
+
+def grouped_specs(groups):
+    """Partition the 4 classes into ``groups`` trees (contiguous by rate);
+    each tree's mixture reflects the classes pooled into it."""
+    specs = []
+    for group in groups:
+        fraction = sum(POPULATION[i][1] for i in group)
+        mixture = tuple(
+            (POPULATION[i][0], POPULATION[i][1] / fraction) for i in group
+        )
+        specs.append(TreeSpec(size=N * fraction, mixture=mixture))
+    return specs
+
+
+def tree_count_series() -> Series:
+    one = one_keytree_cost(N, L, POPULATION, D)
+    two = multi_tree_cost(grouped_specs([(0, 1), (2, 3)]), L, D)
+    four = multi_tree_cost(grouped_specs([(0,), (1,), (2,), (3,)]), L, D)
+    series = Series(
+        title="Ablation — number of loss-homogenized trees (4-point population)",
+        x_label="trees",
+        x_values=[1.0, 2.0, 4.0],
+    )
+    series.add_column("cost", [one, two, four])
+    series.add_column(
+        "gain-%", [0.0, (one - two) / one * 100, (one - four) / one * 100]
+    )
+    return series
+
+
+def test_tree_count_ablation(benchmark):
+    series = benchmark.pedantic(tree_count_series, rounds=1, iterations=1)
+    emit("ablation_trees", series.format_table())
+
+    costs = series.column("cost")
+    assert costs[1] < costs[0]  # two trees beat one
+    assert costs[2] < costs[1]  # four trees beat two (diminishing returns)
+    gains = series.column("gain-%")
+    assert gains[2] - gains[1] < gains[1] - gains[0]

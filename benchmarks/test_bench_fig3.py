@@ -1,0 +1,21 @@
+"""Fig. 3: key-server rekeying cost vs S-period K (four schemes)."""
+
+from repro.experiments.fig3 import fig3_series
+
+from bench_utils import emit
+
+
+def test_fig3_s_period_sweep(benchmark):
+    series = benchmark.pedantic(fig3_series, rounds=1, iterations=1)
+    emit("fig3", series.format_table())
+
+    one = series.column("one-keytree")
+    tt = series.column("TT-scheme")
+    qt = series.column("QT-scheme")
+    pt = series.column("PT-scheme")
+    # Paper shape assertions: collapse at K=0, TT minimum well below the
+    # baseline, PT flat and best, TT beats QT at K=20.
+    assert one[0] == tt[0] == qt[0]
+    assert min(tt) < 0.80 * one[0]
+    assert all(p <= t + 1e-9 for p, t in zip(pt[1:], tt[1:]))
+    assert tt[-1] < qt[-1]

@@ -1,0 +1,26 @@
+"""Fig. 4: rekeying cost vs the fraction of short-duration members."""
+
+from repro.experiments.fig4 import fig4_series
+from repro.experiments.report import reduction_percent
+
+from bench_utils import emit
+
+
+def test_fig4_alpha_sweep(benchmark):
+    series = benchmark.pedantic(fig4_series, rounds=1, iterations=1)
+    emit("fig4", series.format_table(precision=2))
+
+    one = series.column("one-keytree")
+    qt = series.column("QT-scheme")
+    alphas = series.x_values
+    # Crossover: partitioning loses at alpha <= 0.4, wins at alpha > 0.6.
+    for x, base, cost in zip(alphas, one, qt):
+        if x <= 0.4:
+            assert cost >= base
+        if 0.65 <= x <= 0.95:
+            assert cost < base
+    # Peak improvement ~31.4% near alpha = 0.9 (abstract headline).
+    peak = max(
+        reduction_percent(base, cost) for base, cost in zip(one, qt)
+    )
+    assert 28.0 < peak < 35.0

@@ -1,0 +1,16 @@
+"""Fig. 5: relative rekeying-cost reduction vs group size."""
+
+from repro.experiments.fig5 import fig5_series
+
+from bench_utils import emit
+
+
+def test_fig5_group_size_sweep(benchmark):
+    series = benchmark.pedantic(fig5_series, rounds=1, iterations=1)
+    emit("fig5", series.format_table(precision=4))
+
+    for name in ("QT-scheme", "TT-scheme"):
+        values = series.column(name)
+        # Paper: >22% savings on average, nearly flat in N.
+        assert sum(values) / len(values) > 0.22
+        assert max(values) - min(values) < 0.05

@@ -1,0 +1,25 @@
+"""Fig. 7: rekeying cost vs fraction of misplaced receivers."""
+
+from repro.experiments.fig7 import fig7_series
+
+from bench_utils import emit
+
+
+def test_fig7_misplacement_sweep(benchmark):
+    series = benchmark.pedantic(fig7_series, rounds=1, iterations=1)
+    emit("fig7", series.format_table(precision=2))
+
+    one = series.column("one-keytree")[0]
+    mis = series.column("mis-partitioned")
+    correct = series.column("correctly-partitioned")[0]
+    betas = series.x_values
+    # beta = 0 equals the correctly partitioned cost; the gain decays with
+    # beta; near beta = 0.8 the advantage is ~gone; beta = 1 recovers.
+    assert abs(mis[0] - correct) < 1e-6
+    grow_region = [m for b, m in zip(betas, mis) if b <= 0.8]
+    assert grow_region == sorted(grow_region)
+    at_08 = mis[betas.index(0.8)]
+    assert abs(at_08 - one) / one < 0.02
+    assert mis[-1] < at_08
+    # Small misplacement (beta <= 0.1) still beats one keytree.
+    assert mis[betas.index(0.1)] < one

@@ -1,0 +1,19 @@
+"""The abstract's headline numbers, paper vs this reproduction."""
+
+import pytest
+
+from repro.experiments.headlines import PAPER_CLAIMS, format_headlines, headline_numbers
+
+from bench_utils import emit
+
+
+def test_headline_numbers(benchmark):
+    measured = benchmark.pedantic(headline_numbers, rounds=1, iterations=1)
+    emit("headlines", format_headlines())
+
+    assert measured["two_partition_peak_reduction_pct"] == pytest.approx(31.4, abs=3.0)
+    assert measured["tt_reduction_at_defaults_pct"] == pytest.approx(25.0, abs=4.0)
+    assert measured["pt_reduction_at_defaults_pct"] == pytest.approx(40.0, abs=4.0)
+    assert measured["fig5_mean_reduction_pct"] > 22.0
+    assert measured["loss_homog_peak_reduction_pct"] == pytest.approx(12.1, abs=2.5)
+    assert measured["fec_gain_at_alpha_0.1_pct"] == pytest.approx(25.7, abs=10.0)

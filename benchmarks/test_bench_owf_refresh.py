@@ -1,0 +1,82 @@
+"""Extension benchmark: ELK/LKH+ one-way join refresh vs random refresh.
+
+Join-only rekey periods under the OWF mode cost only the joiner's
+bootstrap wraps (existing members advance their keys locally, zero
+multicast); random refresh pays ~d wraps per refreshed node.  Departure
+periods are identical in both modes (one-way advancement cannot evict).
+
+The win is largest exactly where individual rekeying hurts LKH most —
+*sparse* joins, one per period.  Mass-join batches amortize the random
+refresh across shared ancestors (and a saturated tree splits a leaf per
+join either way), shrinking the OWF edge — which is why the paper-track
+servers keep random refresh as the default.
+"""
+
+from repro.crypto.material import KeyGenerator
+from repro.experiments.report import Series
+from repro.server.onetree import OneTreeServer
+
+from bench_utils import emit
+
+SEED_MEMBERS = 200
+PERIODS = 20
+JOINS_PER_PERIOD = 1
+DEPART_EVERY = 4  # every 4th period also evicts members
+
+
+def run(mode: str) -> Series:
+    server = OneTreeServer(
+        degree=4, keygen=KeyGenerator(3), join_refresh=mode, group=f"g-{mode}"
+    )
+    for i in range(SEED_MEMBERS):
+        server.join(f"seed{i}", at_time=0.0)
+    server.rekey(now=0.0)
+    costs = []
+    counter = 0
+    for period in range(1, PERIODS + 1):
+        for __ in range(JOINS_PER_PERIOD):
+            server.join(f"j{counter}", at_time=period * 60.0)
+            counter += 1
+        if period % DEPART_EVERY == 0:
+            victims = [m for m in server.members() if m.startswith("seed")][:3]
+            for victim in victims:
+                server.leave(victim, at_time=period * 60.0)
+        costs.append(server.rekey(now=period * 60.0).cost)
+    series = Series(
+        title="", x_label="period", x_values=[float(p) for p in range(1, PERIODS + 1)]
+    )
+    series.add_column(mode, costs)
+    return series
+
+
+def test_owf_join_refresh(benchmark):
+    def measure():
+        return {mode: run(mode) for mode in ("random", "owf")}
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    series = Series(
+        title=(
+            "Extension — ELK/LKH+ one-way join refresh "
+            f"(N≈{SEED_MEMBERS}, {JOINS_PER_PERIOD} joins/period, "
+            f"departures every {DEPART_EVERY}th period)"
+        ),
+        x_label="period",
+        x_values=results["random"].x_values,
+    )
+    series.add_column("random-refresh", results["random"].column("random"))
+    series.add_column("owf-refresh", results["owf"].column("owf"))
+    emit("owf_refresh", series.format_table())
+
+    random_costs = series.column("random-refresh")
+    owf_costs = series.column("owf-refresh")
+    join_only = [
+        i for i in range(PERIODS) if (i + 1) % DEPART_EVERY != 0
+    ]
+    # Join-only periods: OWF strictly cheaper in aggregate.
+    assert sum(owf_costs[i] for i in join_only) < sum(
+        random_costs[i] for i in join_only
+    )
+    # Departure periods: identical machinery, comparable cost.
+    departure_periods = [i for i in range(PERIODS) if (i + 1) % DEPART_EVERY == 0]
+    for i in departure_periods:
+        assert owf_costs[i] > 0

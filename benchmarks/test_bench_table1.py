@@ -1,0 +1,27 @@
+"""Table 1: default parameters, and the steady-state solve they feed.
+
+The "benchmark" times the Section 3.3 steady-state computation at the
+Table 1 operating point — the building block every two-partition figure
+sweeps call hundreds of times.
+"""
+
+from repro.analysis.twopartition import steady_state
+from repro.experiments.defaults import TABLE1, table1_rows
+
+from bench_utils import emit
+
+
+def test_table1_steady_state(benchmark):
+    state = benchmark(steady_state, TABLE1)
+
+    lines = ["Table 1 — default parameter values (and the implied steady state)"]
+    for description, symbol, value in table1_rows():
+        lines.append(f"  {description:32s} {symbol:>5s} = {value}")
+    lines.append("  derived steady state:")
+    lines.append(f"  {'joins per period':32s} {'J':>5s} = {state.joins:.1f}")
+    lines.append(f"  {'S-partition population':32s} {'Ns':>5s} = {state.n_short:.1f}")
+    lines.append(f"  {'L-partition population':32s} {'Nl':>5s} = {state.n_long:.1f}")
+    lines.append(f"  {'migrations per period':32s} {'Lm':>5s} = {state.l_migrated:.1f}")
+    emit("table1", "\n".join(lines))
+
+    assert state.joins > 0

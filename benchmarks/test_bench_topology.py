@@ -1,0 +1,42 @@
+"""Extension benchmark: topology-aware key-tree placement [BB01].
+
+Measures the multicast link cost of identical departure batches when the
+key tree is aligned with the multicast topology vs randomly placed
+(Section 2.3's "organizing members in a key tree according to their
+topological locations would also be very beneficial").
+"""
+
+from repro.experiments.topology import topology_gain
+
+from bench_utils import emit
+
+SEEDS = (0, 1, 2, 3)
+
+
+def measure():
+    totals = {"clustered": 0, "random": 0}
+    keys = {"clustered": 0, "random": 0}
+    for seed in SEEDS:
+        results = topology_gain(receiver_count=256, departure_count=16, seed=seed)
+        for name, result in results.items():
+            totals[name] += result.total_link_cost
+            keys[name] += result.encrypted_keys
+    return totals, keys
+
+
+def test_topology_aware_placement(benchmark):
+    totals, keys = benchmark.pedantic(measure, rounds=1, iterations=1)
+    saving = (totals["random"] - totals["clustered"]) / totals["random"] * 100
+    lines = [
+        "Extension — topology-aware vs random key-tree placement "
+        f"({len(SEEDS)} topologies, N=256, L=16)"
+    ]
+    for name in ("clustered", "random"):
+        lines.append(
+            f"  {name:10s} {totals[name]:6d} link-transmissions "
+            f"for {keys[name]} encrypted keys"
+        )
+    lines.append(f"  link saving: {saving:.1f}%")
+    emit("topology", "\n".join(lines))
+
+    assert totals["clustered"] < totals["random"]

@@ -1,0 +1,32 @@
+"""Model-vs-simulation cross validation (our addition to the paper).
+
+Times one full end-to-end simulated rekeying session and reports
+predicted-vs-measured for every analytic model.
+"""
+
+from repro.experiments.validation import (
+    validate_batch_cost,
+    validate_two_partition,
+    validate_wka_transport,
+)
+
+from bench_utils import emit
+
+
+def test_validation_suite(benchmark):
+    def run():
+        return {
+            "batch-cost": validate_batch_cost(group_size=512, departures=16, batches=10),
+            "one-keytree": validate_two_partition("one", horizon_periods=160),
+            "tt-scheme": validate_two_partition("tt", horizon_periods=160),
+            "wka-transport": validate_wka_transport(trials=10),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Model-vs-simulation cross validation"]
+    for name, result in results.items():
+        lines.append(f"  {result}")
+    emit("validation", "\n".join(lines))
+
+    for name, result in results.items():
+        assert result.relative_error < 0.20, name

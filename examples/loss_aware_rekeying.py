@@ -1,0 +1,72 @@
+"""Loss-aware key-tree organization over a lossy multicast channel.
+
+A fifth of the audience sits behind lossy links (20% loss); the rest see
+2%.  The same workload is served by a one-keytree server, a two-random-
+keytree control, and the loss-homogenized server, all delivering their
+rekey payloads with WKA-BKR over the simulated channel — the measured
+metric is *keys on the wire*, replication and retransmission included
+(Section 4's metric).
+
+Run:  python examples/loss_aware_rekeying.py
+"""
+
+from repro import LossHomogenizedServer, OneTreeServer, WkaBkrProtocol
+from repro.members import LossPopulation, TwoClassDuration
+from repro.sim import GroupRekeyingSimulation, SimulationConfig
+
+HIGH_LOSS = 0.20
+LOW_LOSS = 0.02
+HIGH_FRACTION = 0.2
+REKEY_PERIOD = 60.0
+HORIZON = 60 * REKEY_PERIOD
+WARMUP = 20
+
+
+def build_servers():
+    return {
+        "one-keytree": OneTreeServer(degree=4),
+        "two-random-keytrees": LossHomogenizedServer(
+            class_rates=(HIGH_LOSS, LOW_LOSS), placement="random", degree=4
+        ),
+        "loss-homogenized": LossHomogenizedServer(
+            class_rates=(HIGH_LOSS, LOW_LOSS), placement="loss", degree=4
+        ),
+    }
+
+
+def main() -> None:
+    population = LossPopulation.two_point(HIGH_LOSS, LOW_LOSS, HIGH_FRACTION)
+    durations = TwoClassDuration(short_mean=600.0, long_mean=3600.0, alpha=0.5)
+    print(f"population: {HIGH_FRACTION:.0%} of receivers at {HIGH_LOSS:.0%} loss, "
+          f"rest at {LOW_LOSS:.0%}; transport: WKA-BKR")
+    print(f"{'scheme':22s} {'server keys':>12s} {'wire keys':>10s} "
+          f"{'wire/server':>11s} {'vs one-keytree':>15s}")
+
+    baseline = None
+    for name, server in build_servers().items():
+        config = SimulationConfig(
+            arrival_rate=2.0,
+            rekey_period=REKEY_PERIOD,
+            horizon=HORIZON,
+            duration_model=durations,
+            loss_population=population,
+            transport=WkaBkrProtocol(keys_per_packet=16),
+            verify=False,
+            seed=7,
+        )
+        metrics = GroupRekeyingSimulation(server, config).run()
+        steady = metrics.records[WARMUP:]
+        server_keys = sum(r.cost for r in steady)
+        wire_keys = sum(r.transport_keys for r in steady)
+        if baseline is None:
+            baseline = wire_keys
+        gain = (baseline - wire_keys) / baseline * 100
+        print(f"{name:22s} {server_keys:12d} {wire_keys:10d} "
+              f"{wire_keys / server_keys:11.2f} {gain:14.1f}%")
+
+    print("\nexpectation (paper Fig. 6): random split ≈ slightly worse than "
+          "one tree; homogenized saves up to ~12% at this population")
+
+
+if __name__ == "__main__":
+    main()

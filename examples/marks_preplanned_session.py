@@ -1,0 +1,60 @@
+"""MARKS for a pre-planned pay-per-view event.
+
+When subscribers buy access to a known time window *in advance* (a match,
+a concert), the MARKS key sequence [Briscoe99] — from the paper's Section
+1 survey — needs no group rekeying at all: every subscriber derives the
+per-minute keys of exactly the window it paid for from a logarithmic
+number of seeds delivered at purchase time.
+
+The example sells three tickets, streams a 64-minute event, and shows who
+can decrypt which minute — including the refused minute 40 for the
+half-time-only customer.
+
+Run:  python examples/marks_preplanned_session.py
+"""
+
+from repro.crypto import encrypt
+from repro.keytree.marks import MarksKeySequence, MarksReceiver
+
+MINUTES = 64  # 2**6 slots, one per minute
+
+
+def main() -> None:
+    sequence = MarksKeySequence(depth=6)
+    print(f"event: {MINUTES} one-minute slots, keys derived from one seed tree")
+
+    tickets = {
+        "full-match": (0, 64),
+        "first-half": (0, 32),
+        "final-15": (49, 64),
+    }
+    receivers = {}
+    for name, (start, end) in tickets.items():
+        grant = sequence.grant(start, end)
+        receivers[name] = MarksReceiver(sequence.depth, grant)
+        print(f"  ticket {name:11s} [{start:2d}, {end:2d})  "
+              f"{len(grant)} seeds over unicast — zero multicast keys")
+
+    # Stream a few representative minutes.
+    for minute in (0, 20, 40, 60):
+        key = sequence.slot_key(minute)
+        blob = encrypt(key.secret, minute.to_bytes(4, "big"), b"frame")
+        viewers = []
+        for name, receiver in receivers.items():
+            try:
+                derived = receiver.slot_key(minute)
+            except KeyError:
+                continue
+            assert derived == key
+            viewers.append(name)
+        print(f"minute {minute:2d}: decrypted by {', '.join(viewers) or 'nobody'}")
+
+    print("\ntrade-off vs the paper's LKH-based schemes: MARKS costs zero "
+          "rekeying\nbandwidth but cannot admit unplanned joins or evict "
+          "early — for dynamic\ngroups the two-partition LKH server remains "
+          "the tool (see\nbenchmarks/test_bench_marks_vs_lkh.py for the "
+          "quantified comparison).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for environments without the `wheel` package, where pip must
+fall back to the legacy (setup.py develop) editable-install path."""
+from setuptools import setup
+
+setup()

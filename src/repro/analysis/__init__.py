@@ -1,0 +1,63 @@
+"""Analytic models reproducing the paper's evaluation.
+
+* :mod:`repro.analysis.combinatorics` — stable hypergeometric "subtree hit"
+  probabilities (eq. 11).
+* :mod:`repro.analysis.batchcost` — Appendix A: expected encrypted keys
+  ``Ne(N, L)`` for one batched rekeying, full and partially-full trees.
+* :mod:`repro.analysis.twopartition` — Section 3.3: the two-class open
+  queueing steady state (eqs. 1–7) and the QT/TT/PT/one-keytree costs
+  (eqs. 8–10).
+* :mod:`repro.analysis.wka` — Appendix B: WKA-BKR expected bandwidth
+  ``E[V]`` (eqs. 13–15), generalized to heterogeneous loss mixtures.
+* :mod:`repro.analysis.losshomog` — Section 4.3: multi-keytree rekeying
+  cost under a loss-class partition, including the random-partition control.
+* :mod:`repro.analysis.misplacement` — Section 4.3.1(b): the mis-partitioned
+  population model behind Fig. 7.
+* :mod:`repro.analysis.fec` — Section 4.4: a proactive-FEC transport
+  bandwidth model in the spirit of [YLZL01].
+"""
+
+from repro.analysis.batchcost import expected_batch_cost, expected_batch_cost_full
+from repro.analysis.combinatorics import log_choose, subtree_hit_probability
+from repro.analysis.losshomog import (
+    TreeSpec,
+    loss_homogenized_cost,
+    multi_tree_cost,
+    one_keytree_cost,
+    random_partition_cost,
+)
+from repro.analysis.misplacement import misplaced_partition_specs
+from repro.analysis.twopartition import (
+    SteadyState,
+    TwoPartitionParameters,
+    one_tree_cost,
+    pt_cost,
+    qt_cost,
+    scheme_costs,
+    steady_state,
+    tt_cost,
+)
+from repro.analysis.wka import expected_transmissions, wka_rekey_cost
+
+__all__ = [
+    "SteadyState",
+    "TreeSpec",
+    "TwoPartitionParameters",
+    "expected_batch_cost",
+    "expected_batch_cost_full",
+    "expected_transmissions",
+    "log_choose",
+    "loss_homogenized_cost",
+    "misplaced_partition_specs",
+    "multi_tree_cost",
+    "one_keytree_cost",
+    "one_tree_cost",
+    "pt_cost",
+    "qt_cost",
+    "random_partition_cost",
+    "scheme_costs",
+    "steady_state",
+    "subtree_hit_probability",
+    "tt_cost",
+    "wka_rekey_cost",
+]

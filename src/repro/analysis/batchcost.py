@@ -1,0 +1,173 @@
+"""Appendix A: expected rekeying cost ``Ne(N, L)`` of one batched rekeying.
+
+``Ne(N, L)`` is the expected number of encrypted keys the key server must
+multicast when ``L`` departures (and, per the paper's assumption, ``J = L``
+joins that refill the vacated leaves) are processed as a batch on a key
+tree of ``N`` members and degree ``d``:
+
+* every key node whose subtree contains at least one departure is updated
+  (probability from eq. 11);
+* every updated key is encrypted once per child (``d`` encryptions in a
+  full tree) — eq. 12.
+
+Two evaluators are provided:
+
+:func:`expected_batch_cost_full`
+    The paper's literal closed form (eqs. 11–12), exact when ``N`` is a
+    power of ``d`` ("we assume the key tree is full and balanced").
+:func:`expected_batch_cost`
+    The "simple extension to a partially full key tree" the paper alludes
+    to: an exact recursion over an idealized maximally balanced tree whose
+    ``N`` leaves are split as evenly as possible at every node.  Agrees
+    with the closed form whenever ``N`` is a power of ``d``.
+
+Both accept real-valued ``L`` (and the recursion rounds real ``N`` to the
+nearest member) because the Section 3.3 steady state produces fractional
+expected counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.analysis.combinatorics import subtree_hit_probability
+
+
+def _child_sizes(n: int, degree: int) -> List[int]:
+    """Split ``n`` leaves into at most ``degree`` maximally even subtrees."""
+    if n <= degree:
+        return [1] * n
+    quotient, remainder = divmod(n, degree)
+    return [quotient + 1] * remainder + [quotient] * (degree - remainder)
+
+
+def expected_batch_cost(group_size: float, departures: float, degree: int = 4) -> float:
+    """``Ne(N, L)`` over an idealized maximally balanced partial tree.
+
+    Parameters
+    ----------
+    group_size:
+        ``N`` — members in the tree (rounded to the nearest integer for the
+        structural split; the models feed fractional expectations).
+    departures:
+        ``L`` — batched departures, uniformly distributed over the leaves;
+        may be fractional (gamma-extended hypergeometric) and is clamped
+        to ``N``.
+    degree:
+        ``d`` — the tree degree.
+
+    Returns
+    -------
+    float
+        Expected number of encrypted keys in the rekey message.
+    """
+    if degree < 2:
+        raise ValueError("degree must be at least 2")
+    if group_size < 0 or departures < 0:
+        raise ValueError("group size and departures must be non-negative")
+    n = int(round(group_size))
+    if n <= 1 or departures <= 0:
+        return 0.0
+    total_departures = min(departures, float(n))
+
+    cache: Dict[int, float] = {}
+
+    def subtree_cost(size: int) -> float:
+        """Expected encryptions within a subtree of ``size`` leaves,
+        including the encryptions of its own root key."""
+        if size <= 1:
+            return 0.0
+        cached = cache.get(size)
+        if cached is not None:
+            return cached
+        sizes = _child_sizes(size, degree)
+        hit = subtree_hit_probability(n, total_departures, size)
+        cost = len(sizes) * hit
+        for child_size in set(sizes):
+            cost += sizes.count(child_size) * subtree_cost(child_size)
+        cache[size] = cost
+        return cost
+
+    return subtree_cost(n)
+
+
+def expected_batch_cost_full(
+    group_size: float, departures: float, degree: int = 4
+) -> float:
+    """The paper's literal closed form (eqs. 11–12).
+
+    ``Ne(N, L) = sum_{i=0}^{h-1} d * d^i * P_i`` with ``S_i = d^(h-i)``,
+    ``h = ceil(log_d N)``.  Exact for a full balanced tree (``N = d^h``);
+    for other ``N`` it prices a tree padded out to the next power of ``d``
+    and therefore overestimates — use :func:`expected_batch_cost` there.
+    """
+    if degree < 2:
+        raise ValueError("degree must be at least 2")
+    if group_size < 0 or departures < 0:
+        raise ValueError("group size and departures must be non-negative")
+    if group_size <= 1 or departures <= 0:
+        return 0.0
+    n = group_size
+    total_departures = min(departures, n)
+    height = max(1, math.ceil(math.log(n, degree) - 1e-12))
+    total = 0.0
+    for level in range(height):
+        subtree = float(degree ** (height - level))
+        subtree = min(subtree, n)
+        hit = subtree_hit_probability(n, total_departures, subtree)
+        total += degree * (degree**level) * hit
+    return total
+
+
+def worst_case_batch_cost(group_size: float, departures: float, degree: int = 4) -> float:
+    """[YLZL01] worst case: departures spread to touch the most key nodes.
+
+    At level ``i`` at most ``min(d^i, L)`` nodes can be hit, and the
+    adversarial placement achieves it: ``sum_i d * min(d^i, L)`` over a
+    full balanced tree.
+    """
+    if degree < 2:
+        raise ValueError("degree must be at least 2")
+    if group_size <= 1 or departures <= 0:
+        return 0.0
+    n = group_size
+    total_departures = min(departures, n)
+    height = max(1, math.ceil(math.log(n, degree) - 1e-12))
+    return sum(
+        degree * min(float(degree**level), total_departures)
+        for level in range(height)
+    )
+
+
+def best_case_batch_cost(group_size: float, departures: float, degree: int = 4) -> float:
+    """[YLZL01] best case: departures packed into one contiguous block.
+
+    A block of ``L`` adjacent leaves touches ``ceil(L / S_i)`` nodes at the
+    level whose subtrees hold ``S_i`` leaves (never fewer than 1), so the
+    cost floor is ``sum_i d * ceil(L / d^(h-i))``.
+    """
+    if degree < 2:
+        raise ValueError("degree must be at least 2")
+    if group_size <= 1 or departures <= 0:
+        return 0.0
+    n = group_size
+    total_departures = min(departures, n)
+    height = max(1, math.ceil(math.log(n, degree) - 1e-12))
+    total = 0.0
+    for level in range(height):
+        subtree = float(degree ** (height - level))
+        total += degree * max(1.0, math.ceil(total_departures / subtree))
+    return total
+
+
+def per_departure_cost(group_size: float, degree: int = 4) -> float:
+    """Cost of an *individual* (non-batched) departure: ``d * ceil(log_d N)``.
+
+    The Section 3.1 motivation quantity: with one balanced key tree the
+    rekey message on any single departure contains about ``d * log_d N``
+    keys regardless of how long the departing member stayed.
+    """
+    if group_size <= 1:
+        return 0.0
+    return degree * math.ceil(math.log(group_size, degree) - 1e-12)

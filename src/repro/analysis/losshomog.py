@@ -1,0 +1,132 @@
+"""Section 4.3: rekeying cost of multi-keytree (loss-partitioned) servers.
+
+The key server maintains one key tree per loss class (or per random slice,
+for the control scheme) under a common group key.  Per Section 4.3, the
+number of departures charged to each tree is proportional to its size
+(``L_t = L * N_t / N``), and the per-tree cost comes from the Appendix B
+WKA-BKR model evaluated with that tree's own loss mixture.
+
+The group (root) key sits above the sub-tree roots.  When more than one
+tree is populated, its refresh costs one encryption per populated sub-tree
+root, each of which must reach that whole sub-tree — a small, principled
+constant the paper's model neglects; it is included here and never changes
+who wins (it is identical across the compared schemes at equal tree
+counts, and zero in the one-tree degenerate case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.analysis.wka import LossMixture, expected_transmissions, wka_rekey_cost
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """One key tree of a composed server: its size and its loss mixture."""
+
+    size: float
+    mixture: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("tree size must be non-negative")
+
+    @staticmethod
+    def homogeneous(size: float, loss_rate: float) -> "TreeSpec":
+        return TreeSpec(size=size, mixture=((loss_rate, 1.0),))
+
+
+def multi_tree_cost(
+    trees: Sequence[TreeSpec],
+    total_departures: float,
+    degree: int = 4,
+    include_joint_root: bool = True,
+) -> float:
+    """Expected rekey bandwidth of a server composed of ``trees``.
+
+    Parameters
+    ----------
+    trees:
+        The sub-trees; empty ones contribute nothing.
+    total_departures:
+        ``L`` for the whole group; split across trees proportionally to
+        size (Section 4.3: "We let the number of departed members from a
+        key tree be proportional to the total number of members in the key
+        tree").
+    degree:
+        Key-tree degree ``d``.
+    include_joint_root:
+        Charge the group-key refresh (one encryption per populated
+        sub-tree, weighted by delivery expectation) when two or more trees
+        are populated.
+    """
+    populated = [t for t in trees if t.size > 0.5]
+    if not populated:
+        return 0.0
+    total_size = sum(t.size for t in populated)
+    if total_size <= 0:
+        return 0.0
+
+    cost = 0.0
+    for tree in populated:
+        departures = total_departures * tree.size / total_size
+        cost += wka_rekey_cost(tree.size, departures, tree.mixture, degree)
+
+    if include_joint_root and len(populated) > 1 and total_departures > 0:
+        for tree in populated:
+            cost += expected_transmissions(tree.size, tree.mixture)
+    return cost
+
+
+def one_keytree_cost(
+    group_size: float,
+    total_departures: float,
+    mixture: LossMixture,
+    degree: int = 4,
+) -> float:
+    """The baseline: a single tree holding the whole mixed population."""
+    return wka_rekey_cost(group_size, total_departures, mixture, degree)
+
+
+def loss_homogenized_cost(
+    group_size: float,
+    total_departures: float,
+    mixture: LossMixture,
+    degree: int = 4,
+) -> float:
+    """Our scheme: one homogeneous tree per loss class.
+
+    Class ``j`` of fraction ``f_j`` gets a tree of ``f_j * N`` members, all
+    at loss rate ``p_j``.  Falls back to the one-keytree scheme when only
+    one class is populated (the paper's α = 0 / α = 1 endpoints).
+    """
+    trees = [
+        TreeSpec.homogeneous(group_size * fraction, rate)
+        for rate, fraction in mixture
+        if fraction > 0
+    ]
+    return multi_tree_cost(trees, total_departures, degree)
+
+
+def random_partition_cost(
+    group_size: float,
+    total_departures: float,
+    mixture: LossMixture,
+    degree: int = 4,
+    tree_count: int = 2,
+) -> float:
+    """The control: ``tree_count`` trees with members placed randomly.
+
+    Every tree inherits the full population mixture, so high-loss receivers
+    still inflate every tree's replication — the paper finds this *slightly
+    worse* than one tree (extra roots, no homogenization benefit).
+    """
+    if tree_count < 1:
+        raise ValueError("tree_count must be at least 1")
+    slice_size = group_size / tree_count
+    trees = [
+        TreeSpec(size=slice_size, mixture=tuple(mixture)) for __ in range(tree_count)
+    ]
+    return multi_tree_cost(trees, total_departures, degree)

@@ -1,0 +1,98 @@
+"""Section 4.3.1(b): the misplacement model behind Fig. 7.
+
+The key server never moves members between loss trees after joining, so a
+wrong loss estimate at join time leaves a member in the wrong tree.  The
+paper's experiment keeps both tree sizes fixed and swaps a fraction
+``beta`` of the high-loss tree's members (who are secretly low-loss) with
+an equal *count* of the low-loss tree's members (who are secretly
+high-loss)::
+
+    high tree (size alpha*N):     (1-beta) high-loss + beta low-loss
+    low tree  (size (1-alpha)*N): swapped-in beta*alpha*N high-loss,
+                                  the rest low-loss
+
+At ``beta = 1`` the trees have fully exchanged populations — which is why
+the paper observes the curve *improving* again near 1 (the "high" tree is
+then actually all low-loss and cheap to serve).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.losshomog import TreeSpec
+
+
+def misplaced_partition_specs(
+    group_size: float,
+    high_fraction: float,
+    high_loss: float,
+    low_loss: float,
+    misplaced_fraction: float,
+) -> List[TreeSpec]:
+    """Tree specs for the mis-partitioned two-tree server.
+
+    Parameters
+    ----------
+    group_size:
+        ``N``.
+    high_fraction:
+        ``alpha`` — fraction of genuinely high-loss receivers (also the
+        relative size of the nominally-high tree).
+    high_loss / low_loss:
+        ``ph`` and ``pl``.
+    misplaced_fraction:
+        ``beta`` — fraction of the high tree's slots occupied by low-loss
+        members (and vice versa, same absolute count).
+
+    Raises
+    ------
+    ValueError
+        When the swap count exceeds the low tree's capacity
+        (``beta * alpha > 1 - alpha``), which cannot arise from the paper's
+        construction.
+    """
+    if not 0.0 <= high_fraction <= 1.0:
+        raise ValueError("high_fraction must be in [0, 1]")
+    if not 0.0 <= misplaced_fraction <= 1.0:
+        raise ValueError("misplaced_fraction must be in [0, 1]")
+    swapped = misplaced_fraction * high_fraction
+    low_tree_size = 1.0 - high_fraction
+    if swapped > low_tree_size + 1e-12:
+        raise ValueError(
+            "swap count exceeds the low-loss tree: "
+            f"beta*alpha = {swapped:.4f} > 1 - alpha = {low_tree_size:.4f}"
+        )
+
+    high_tree_size = group_size * high_fraction
+    low_size = group_size * low_tree_size
+
+    specs: List[TreeSpec] = []
+    if high_tree_size > 0:
+        specs.append(
+            TreeSpec(
+                size=high_tree_size,
+                mixture=_normalized(
+                    (high_loss, 1.0 - misplaced_fraction),
+                    (low_loss, misplaced_fraction),
+                ),
+            )
+        )
+    if low_size > 0:
+        high_in_low = swapped / low_tree_size if low_tree_size > 0 else 0.0
+        specs.append(
+            TreeSpec(
+                size=low_size,
+                mixture=_normalized(
+                    (high_loss, high_in_low),
+                    (low_loss, 1.0 - high_in_low),
+                ),
+            )
+        )
+    return specs
+
+
+def _normalized(*pairs: Tuple[float, float]) -> Tuple[Tuple[float, float], ...]:
+    """Drop zero-fraction classes; keep the mixture summing to 1."""
+    kept = tuple((rate, fraction) for rate, fraction in pairs if fraction > 0)
+    return kept if kept else ((0.0, 1.0),)

@@ -1,0 +1,196 @@
+"""Section 3.3: the two-partition steady-state model and scheme costs.
+
+The group is a two-class open queueing system (Fig. 2 of the paper):
+joins arrive at rate ``J`` per rekey period ``Tp``, a fraction ``alpha``
+from class Cs (exponential durations, mean ``Ms``) and the rest from class
+Cl (mean ``Ml``).  Every joiner enters the S-partition; survivors of the
+S-period ``Ts = K * Tp`` migrate to the L-partition in the periodic batch.
+
+Steady-state balance (eqs. 1–7) yields the per-period flows, and the
+per-period rekeying costs follow (eqs. 8–10)::
+
+    C_one = Ne(N,  J)                      # the un-optimized baseline
+    C_qt  = Ns + Ne(Nl, Ll)                # queue + tree
+    C_tt  = Ne(Ns, J) + Ne(Nl, Ll)         # tree + tree
+    C_pt  = Ne(Ncs, Lcs) + Ne(Ncl, Lcl)    # oracle placement, no migration
+
+At ``K = 0`` the S-partition is empty and every scheme degenerates to the
+one-keytree scheme, which the cost functions honor exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.analysis.batchcost import expected_batch_cost
+from repro.members.durations import exponential_departure_probability
+
+
+@dataclass(frozen=True)
+class TwoPartitionParameters:
+    """Model inputs; defaults are the paper's Table 1."""
+
+    group_size: float = 65_536.0
+    degree: int = 4
+    rekey_period: float = 60.0
+    k_periods: int = 10
+    short_mean: float = 180.0
+    long_mean: float = 10_800.0
+    alpha: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.group_size <= 0:
+            raise ValueError("group size must be positive")
+        if self.degree < 2:
+            raise ValueError("degree must be at least 2")
+        if self.rekey_period <= 0:
+            raise ValueError("rekey period must be positive")
+        if self.k_periods < 0:
+            raise ValueError("K must be non-negative")
+        if self.short_mean <= 0 or self.long_mean <= 0:
+            raise ValueError("class means must be positive")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+
+    @property
+    def s_period(self) -> float:
+        """``Ts = K * Tp``."""
+        return self.k_periods * self.rekey_period
+
+    def with_k(self, k_periods: int) -> "TwoPartitionParameters":
+        return replace(self, k_periods=k_periods)
+
+    def with_alpha(self, alpha: float) -> "TwoPartitionParameters":
+        return replace(self, alpha=alpha)
+
+    def with_group_size(self, group_size: float) -> "TwoPartitionParameters":
+        return replace(self, group_size=group_size)
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Per-period steady-state quantities (Section 3.3.1 notation).
+
+    All values are expectations and therefore generally fractional.
+    """
+
+    joins: float  # J        — joins (= departures) per period
+    n_class_short: float  # Ncs — class Cs members in the group
+    n_class_long: float  # Ncl — class Cl members in the group
+    n_short: float  # Ns  — members in the S-partition
+    n_long: float  # Nl  — members in the L-partition
+    l_class_short: float  # Lcs — class Cs departures per period
+    l_class_long: float  # Lcl — class Cl departures per period
+    l_short: float  # Ls  — departures from the S-partition per period
+    l_long: float  # Ll  — departures from the L-partition per period
+    l_migrated: float  # Lm — S-to-L migrations per period (= Ll)
+
+
+def steady_state(params: TwoPartitionParameters) -> SteadyState:
+    """Solve eqs. (1)–(7) for the per-period steady state."""
+    p = params
+    pr_short = exponential_departure_probability(p.rekey_period, p.short_mean)
+    pr_long = exponential_departure_probability(p.rekey_period, p.long_mean)
+
+    # N = Ncs + Ncl with Ncs = alpha*J / Pr(Tp, Ms), Ncl = (1-alpha)*J / Pr(Tp, Ml)
+    # (eqs. 3-5) => solve for J.
+    denom = p.alpha / pr_short + (1.0 - p.alpha) / pr_long
+    joins = p.group_size / denom
+    n_class_short = p.alpha * joins / pr_short
+    n_class_long = (1.0 - p.alpha) * joins / pr_long
+    l_class_short = p.alpha * joins
+    l_class_long = (1.0 - p.alpha) * joins
+
+    # Eq. (6): survivors of i full periods still sitting in the S-partition.
+    n_short = 0.0
+    for i in range(p.k_periods):
+        age = i * p.rekey_period
+        n_short += p.alpha * joins * math.exp(-age / p.short_mean)
+        n_short += (1.0 - p.alpha) * joins * math.exp(-age / p.long_mean)
+    n_long = p.group_size - n_short
+
+    # Eq. (7): survivors of the whole S-period migrate.
+    l_migrated = p.alpha * joins * math.exp(-p.s_period / p.short_mean) + (
+        1.0 - p.alpha
+    ) * joins * math.exp(-p.s_period / p.long_mean)
+    l_short = joins - l_migrated
+    l_long = l_migrated  # steady state: L-partition inflow = outflow
+
+    return SteadyState(
+        joins=joins,
+        n_class_short=n_class_short,
+        n_class_long=n_class_long,
+        n_short=n_short,
+        n_long=n_long,
+        l_class_short=l_class_short,
+        l_class_long=l_class_long,
+        l_short=l_short,
+        l_long=l_long,
+        l_migrated=l_migrated,
+    )
+
+
+def one_tree_cost(params: TwoPartitionParameters) -> float:
+    """Eq. baseline: ``Ne(N, J)`` — the un-optimized one-keytree scheme."""
+    state = steady_state(params)
+    return expected_batch_cost(params.group_size, state.joins, params.degree)
+
+
+def qt_cost(params: TwoPartitionParameters) -> float:
+    """Eq. (8): queue S-partition + tree L-partition.
+
+    ``Neq = Ns``: on the batch the fresh group key is encrypted once per
+    queue resident.
+    """
+    if params.k_periods == 0:
+        return one_tree_cost(params)
+    state = steady_state(params)
+    return state.n_short + expected_batch_cost(
+        state.n_long, state.l_long, params.degree
+    )
+
+
+def tt_cost(params: TwoPartitionParameters) -> float:
+    """Eq. (9): tree S-partition + tree L-partition.
+
+    The S-tree processes all ``J`` removals per period (true departures
+    plus migrations) against its ``Ns`` residents.
+    """
+    if params.k_periods == 0:
+        return one_tree_cost(params)
+    state = steady_state(params)
+    return expected_batch_cost(
+        state.n_short, state.joins, params.degree
+    ) + expected_batch_cost(state.n_long, state.l_long, params.degree)
+
+
+def pt_cost(params: TwoPartitionParameters) -> float:
+    """Eq. (10): oracle placement by class — no migration overhead.
+
+    An upper bound on the achievable gain (the [SMS00]-style scheme that
+    assumes departure classes are known at join time).
+    """
+    state = steady_state(params)
+    return expected_batch_cost(
+        state.n_class_short, state.l_class_short, params.degree
+    ) + expected_batch_cost(state.n_class_long, state.l_class_long, params.degree)
+
+
+def scheme_costs(params: TwoPartitionParameters) -> Dict[str, float]:
+    """All four per-period costs, keyed by the paper's scheme names."""
+    return {
+        "one-keytree": one_tree_cost(params),
+        "QT-scheme": qt_cost(params),
+        "TT-scheme": tt_cost(params),
+        "PT-scheme": pt_cost(params),
+    }
+
+
+def reduction_over_one_tree(params: TwoPartitionParameters, scheme_cost: float) -> float:
+    """Fractional bandwidth reduction of a scheme vs the one-keytree baseline."""
+    baseline = one_tree_cost(params)
+    if baseline == 0:
+        return 0.0
+    return (baseline - scheme_cost) / baseline

@@ -1,0 +1,173 @@
+"""Appendix B: the WKA-BKR bandwidth model, generalized to loss mixtures.
+
+For a key at level ``l`` of a degree-``d`` tree of height ``h``, each of its
+``d`` encryptions must reach the ``R(l) = d^(h-l-1)`` members under one
+child.  With independent per-packet loss ``p`` at each receiver, the number
+of transmissions until all ``R`` interested receivers have the key
+satisfies (eq. 13)::
+
+    P[M <= m] = (1 - p^m)^R
+    E[M]      = sum_{m>=1} (1 - (1 - p^{m-1})^R)          (eq. 14)
+
+and the expected rekey bandwidth is (eq. 15)::
+
+    E[V] = sum_{l=0}^{h-1} d * U(l) * E[M(l)],   U(l) = d^l * P_l
+
+with ``P_l`` the Appendix A update probability.  This module evaluates the
+closed form for full trees and an exact recursion for partially full trees,
+and generalizes ``E[M]`` to a *mixture* of loss classes: if a fraction
+``f_j`` of the interested receivers lose packets at rate ``p_j``
+(independent losses, eq. 13's factorization)::
+
+    P[M <= m] = prod_j (1 - p_j^m)^(f_j * R)
+
+Receiver counts may be fractional — they are expectations under the random
+placement of classes over leaves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.batchcost import _child_sizes
+from repro.analysis.combinatorics import subtree_hit_probability
+
+LossMixture = Sequence[Tuple[float, float]]
+"""``(loss_rate, fraction)`` pairs; fractions sum to 1."""
+
+_TAIL_EPSILON = 1e-12
+_MAX_TERMS = 10_000
+
+
+def _validate_mixture(mixture: LossMixture) -> None:
+    total = 0.0
+    for rate, fraction in mixture:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate {rate} outside [0, 1)")
+        if fraction < 0.0:
+            raise ValueError("mixture fractions must be non-negative")
+        total += fraction
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"mixture fractions must sum to 1, got {total}")
+
+
+def expected_transmissions(receivers: float, mixture: LossMixture) -> float:
+    """``E[M]`` — expected sends until all interested receivers have a key.
+
+    Parameters
+    ----------
+    receivers:
+        ``R`` — number of receivers interested in this encryption (may be
+        a fractional expectation).
+    mixture:
+        ``(loss_rate, fraction)`` pairs describing the receivers' loss
+        classes.
+
+    The series (eq. 14) is summed until the tail term drops below 1e-12.
+    """
+    _validate_mixture(mixture)
+    if receivers <= 0:
+        return 0.0
+    expectation = 0.0
+    m = 1
+    while m <= _MAX_TERMS:
+        # P[M >= m] = 1 - prod_j (1 - p_j^{m-1})^{f_j R}
+        log_all_received = 0.0
+        for rate, fraction in mixture:
+            if rate == 0.0:
+                survive = 0.0 if m > 1 else 1.0
+            else:
+                survive = rate ** (m - 1)
+            if survive >= 1.0:
+                log_all_received = -math.inf
+                break
+            log_all_received += fraction * receivers * math.log1p(-survive)
+        tail = -math.expm1(log_all_received)
+        expectation += tail
+        if tail < _TAIL_EPSILON:
+            break
+        m += 1
+    return expectation
+
+
+def wka_rekey_cost_full(
+    group_size: float,
+    departures: float,
+    mixture: LossMixture,
+    degree: int = 4,
+) -> float:
+    """Eq. (15) for a full balanced tree (``N = d^h``).
+
+    ``E[V] = sum_l d * d^l * P_l * E[M(l)]`` with ``R(l) = d^(h-l-1)``.
+    """
+    if degree < 2:
+        raise ValueError("degree must be at least 2")
+    if group_size <= 1 or departures <= 0:
+        return 0.0
+    _validate_mixture(mixture)
+    n = group_size
+    total_departures = min(departures, n)
+    height = max(1, math.ceil(math.log(n, degree) - 1e-12))
+    total = 0.0
+    for level in range(height):
+        subtree = min(float(degree ** (height - level)), n)
+        hit = subtree_hit_probability(n, total_departures, subtree)
+        receivers = float(degree ** (height - level - 1))
+        total += degree * (degree**level) * hit * expected_transmissions(
+            receivers, mixture
+        )
+    return total
+
+
+def wka_rekey_cost(
+    group_size: float,
+    departures: float,
+    mixture: LossMixture,
+    degree: int = 4,
+) -> float:
+    """``E[V]`` over an idealized maximally balanced partial tree.
+
+    Exact recursion analogous to
+    :func:`repro.analysis.batchcost.expected_batch_cost`: for each internal
+    node of subtree size ``s`` (updated with probability ``P_hit(N, L, s)``)
+    each child encryption must reach that child's leaves, weighted by
+    ``E[M]`` over the mixture.  Agrees with :func:`wka_rekey_cost_full`
+    when ``N`` is a power of ``d``.
+    """
+    if degree < 2:
+        raise ValueError("degree must be at least 2")
+    if group_size < 0 or departures < 0:
+        raise ValueError("group size and departures must be non-negative")
+    n = int(round(group_size))
+    if n <= 1 or departures <= 0:
+        return 0.0
+    _validate_mixture(mixture)
+    total_departures = min(departures, float(n))
+
+    transmissions_cache: Dict[int, float] = {}
+
+    def transmissions(receivers: int) -> float:
+        cached = transmissions_cache.get(receivers)
+        if cached is None:
+            cached = expected_transmissions(float(receivers), mixture)
+            transmissions_cache[receivers] = cached
+        return cached
+
+    cost_cache: Dict[int, float] = {}
+
+    def subtree_cost(size: int) -> float:
+        if size <= 1:
+            return 0.0
+        cached = cost_cache.get(size)
+        if cached is not None:
+            return cached
+        sizes = _child_sizes(size, degree)
+        hit = subtree_hit_probability(n, total_departures, size)
+        cost = hit * sum(transmissions(s) for s in sizes)
+        for child_size in set(sizes):
+            cost += sizes.count(child_size) * subtree_cost(child_size)
+        cost_cache[size] = cost
+        return cost
+
+    return subtree_cost(n)

@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``   regenerate any (or all) of the paper's figure tables
+``headlines`` print the paper-vs-reproduction headline numbers
+``validate``  run the model-vs-simulation cross validation
+``simulate``  run one end-to-end simulated session and summarize it
+``trace``     generate a synthetic MBone-style membership trace
+``tracestats`` summarize a trace file ([AA97]-style statistics)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fec")
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fec_gain_series,
+        fig3_series,
+        fig4_series,
+        fig5_series,
+        fig6_series,
+        fig7_series,
+    )
+
+    producers = {
+        "fig3": lambda: fig3_series().format_table(),
+        "fig4": lambda: fig4_series().format_table(precision=2),
+        "fig5": lambda: fig5_series().format_table(precision=4),
+        "fig6": lambda: fig6_series().format_table(precision=2),
+        "fig7": lambda: fig7_series().format_table(precision=2),
+        "fec": lambda: fec_gain_series().format_table(precision=2),
+    }
+    wanted = FIGURES if args.figure == "all" else (args.figure,)
+    for index, name in enumerate(wanted):
+        if index:
+            print()
+        print(producers[name]())
+    return 0
+
+
+def _cmd_headlines(args: argparse.Namespace) -> int:
+    from repro.experiments.headlines import format_headlines
+
+    print(format_headlines())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import (
+        run_all_validations,
+        validate_batch_cost,
+        validate_wka_transport,
+    )
+
+    if args.fast:
+        results = {
+            "batch-cost": validate_batch_cost(
+                group_size=256, departures=16, batches=10
+            ),
+            "wka-transport": validate_wka_transport(
+                group_size=128, departures=8, trials=5
+            ),
+        }
+    else:
+        results = run_all_validations()
+    worst = 0.0
+    for result in results.values():
+        print(result)
+        worst = max(worst, result.relative_error)
+    print(f"worst relative error: {worst * 100:.1f}%")
+    return 0 if worst < 0.35 else 1
+
+
+def _build_server(scheme: str, degree: int, s_period: float):
+    from repro.server.losshomog import LossHomogenizedServer
+    from repro.server.onetree import OneTreeServer
+    from repro.server.twopartition import TwoPartitionServer
+
+    if scheme == "one":
+        return OneTreeServer(degree=degree)
+    if scheme in ("qt", "tt", "pt"):
+        return TwoPartitionServer(mode=scheme, s_period=s_period, degree=degree)
+    if scheme == "losshomog":
+        return LossHomogenizedServer(degree=degree, placement="loss")
+    if scheme == "random-trees":
+        return LossHomogenizedServer(degree=degree, placement="random")
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def _build_transport(name: str):
+    from repro.transport.fec import ProactiveFecProtocol
+    from repro.transport.multisend import MultiSendProtocol
+    from repro.transport.wka_bkr import WkaBkrProtocol
+
+    if name == "none":
+        return None
+    if name == "wka-bkr":
+        return WkaBkrProtocol(keys_per_packet=16)
+    if name == "multi-send":
+        return MultiSendProtocol(keys_per_packet=16, replication=2)
+    if name == "fec":
+        return ProactiveFecProtocol(keys_per_packet=16, block_size=8)
+    raise ValueError(f"unknown transport {name!r}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.members.durations import TwoClassDuration
+    from repro.members.population import LossPopulation
+    from repro.sim.simulation import GroupRekeyingSimulation, SimulationConfig
+
+    server = _build_server(args.scheme, args.degree, args.s_period)
+    transport = _build_transport(args.transport)
+    needs_population = transport is not None or args.scheme in (
+        "losshomog",
+        "random-trees",
+    )
+    config = SimulationConfig(
+        arrival_rate=args.arrival_rate,
+        rekey_period=args.period,
+        horizon=args.horizon,
+        duration_model=TwoClassDuration(args.short_mean, args.long_mean, args.alpha),
+        loss_population=LossPopulation.two_point() if needs_population else None,
+        transport=transport,
+        verify=not args.no_verify,
+        seed=args.seed,
+    )
+    metrics = GroupRekeyingSimulation(server, config).run()
+    skip = min(len(metrics.records) // 2, args.warmup)
+    print(f"scheme:             {server.name}")
+    print(f"rekeyings:          {metrics.rekey_count}")
+    print(f"joins/departures:   {metrics.joins_total}/{metrics.departures_total}")
+    print(f"mean group size:    {metrics.mean_group_size(skip=skip):.0f}")
+    print(f"server keys total:  {metrics.total_cost}")
+    print(f"mean keys/rekeying: {metrics.mean_cost(skip=skip):.1f}")
+    if transport is not None:
+        print(f"wire keys total:    {metrics.total_transport_keys}")
+    if not args.no_verify:
+        print(f"security checks:    {metrics.verification_checks} passed")
+    breakdown = metrics.breakdown_totals()
+    if breakdown:
+        print("cost breakdown:     " + ", ".join(
+            f"{label}={count}" for label, count in sorted(breakdown.items())
+        ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.members.durations import TwoClassDuration
+    from repro.members.trace import MBoneTraceGenerator, write_trace
+
+    generator = MBoneTraceGenerator(
+        duration_model=TwoClassDuration(args.short_mean, args.long_mean, args.alpha),
+        arrival_rate=args.arrival_rate,
+        seed=args.seed,
+    )
+    records = generator.generate(args.length)
+    write_trace(records, args.output)
+    print(f"wrote {len(records)} membership records to {args.output}")
+    return 0
+
+
+def _cmd_tracestats(args: argparse.Namespace) -> int:
+    from repro.members.trace import read_trace, trace_statistics
+
+    stats = trace_statistics(read_trace(args.trace))
+    print(f"members:          {stats.members}")
+    print(f"mean duration:    {stats.mean_duration:.1f} s")
+    print(f"median duration:  {stats.median_duration:.1f} s")
+    print(f"short fraction:   {stats.short_fraction:.2f}")
+    print(f"peak concurrency: {stats.max_concurrency}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Performance Optimizations for Group Key "
+            "Management Schemes for Secure Multicast' (ICDCS 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figure tables")
+    p.add_argument(
+        "figure", choices=FIGURES + ("all",), nargs="?", default="all"
+    )
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("headlines", help="paper-vs-reproduction headline numbers")
+    p.set_defaults(func=_cmd_headlines)
+
+    p = sub.add_parser("validate", help="model-vs-simulation cross validation")
+    p.add_argument("--fast", action="store_true", help="small configurations only")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("simulate", help="run one end-to-end simulated session")
+    p.add_argument(
+        "--scheme",
+        choices=("one", "qt", "tt", "pt", "losshomog", "random-trees"),
+        default="tt",
+    )
+    p.add_argument("--transport", choices=("none", "wka-bkr", "multi-send", "fec"), default="none")
+    p.add_argument("--degree", type=int, default=4)
+    p.add_argument("--s-period", type=float, default=600.0)
+    p.add_argument("--arrival-rate", type=float, default=1.0)
+    p.add_argument("--period", type=float, default=60.0)
+    p.add_argument("--horizon", type=float, default=3600.0)
+    p.add_argument("--alpha", type=float, default=0.8)
+    p.add_argument("--short-mean", type=float, default=180.0)
+    p.add_argument("--long-mean", type=float, default=3600.0)
+    p.add_argument("--warmup", type=int, default=10, help="rekeyings to skip in means")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("trace", help="generate a synthetic MBone-style trace")
+    p.add_argument("output")
+    p.add_argument("--length", type=float, default=3600.0, help="session seconds")
+    p.add_argument("--arrival-rate", type=float, default=1.0)
+    p.add_argument("--alpha", type=float, default=0.8)
+    p.add_argument("--short-mean", type=float, default=180.0)
+    p.add_argument("--long-mean", type=float, default=10_800.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("tracestats", help="summarize a trace file")
+    p.add_argument("trace")
+    p.set_defaults(func=_cmd_tracestats)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Symmetric key material and deterministic key generation.
+
+Keys in a logical key hierarchy are identified objects: the key server and
+every member must agree on *which* key a ciphertext was produced under.  A
+:class:`KeyMaterial` therefore carries a ``key_id`` (stable identity of the
+tree node or member the key belongs to) and a ``version`` (bumped every time
+the node is rekeyed) alongside the secret bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+KEY_SIZE = 32
+"""Secret length in bytes (SHA-256 output size)."""
+
+
+@dataclass(frozen=True)
+class KeyMaterial:
+    """An identified, versioned symmetric key.
+
+    Parameters
+    ----------
+    key_id:
+        Stable identifier of the logical key (e.g. the key-tree node id or
+        ``"member:42"`` for an individual key).
+    version:
+        Monotonically increasing rekey generation for this ``key_id``.
+    secret:
+        ``KEY_SIZE`` bytes of key material.
+    """
+
+    key_id: str
+    version: int
+    secret: bytes = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.secret, (bytes, bytearray)):
+            raise TypeError("secret must be bytes")
+        if len(self.secret) != KEY_SIZE:
+            raise ValueError(
+                f"secret must be {KEY_SIZE} bytes, got {len(self.secret)}"
+            )
+        if self.version < 0:
+            raise ValueError("version must be non-negative")
+
+    @property
+    def handle(self) -> tuple:
+        """Hashable ``(key_id, version)`` pair naming this exact key."""
+        return (self.key_id, self.version)
+
+    def fingerprint(self) -> str:
+        """Short hex digest of the secret, safe to log or compare in tests."""
+        return hashlib.sha256(self.secret).hexdigest()[:16]
+
+    def derive(self, label: str) -> "KeyMaterial":
+        """Derive a new key from this one via a one-way function.
+
+        Used by the OFT (one-way function tree) variant, where a parent key
+        is computed from blinded child keys.  The derivation is HMAC-based,
+        so knowledge of the derived key does not reveal this key.
+        """
+        secret = hmac.new(self.secret, label.encode("utf-8"), hashlib.sha256).digest()
+        return KeyMaterial(key_id=f"{self.key_id}/{label}", version=self.version, secret=secret)
+
+    def advance(self) -> "KeyMaterial":
+        """One-way version bump: ``K_{v+1} = H(K_v)`` (ELK [PST01] /
+        LKH+ style join refresh).
+
+        Every current holder computes the new version locally — zero
+        multicast bytes — while a joiner handed only ``K_{v+1}`` cannot
+        invert the hash to read pre-join traffic.  Never use for
+        *departures*: the departed member could advance right along.
+        """
+        secret = hmac.new(self.secret, b"repro-advance", hashlib.sha256).digest()
+        return KeyMaterial(key_id=self.key_id, version=self.version + 1, secret=secret)
+
+
+class KeyGenerator:
+    """Deterministic factory for fresh :class:`KeyMaterial`.
+
+    A real key server would draw from a CSPRNG; for reproducible simulations
+    we derive each fresh key from a seed and a counter with HMAC-SHA256.
+    Two generators with the same seed emit the same key sequence, which
+    makes simulation runs replayable.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._root = hashlib.sha256(f"repro-keygen:{seed}".encode("utf-8")).digest()
+        self._counter = 0
+
+    def state(self) -> dict:
+        """Serializable generator state (SENSITIVE: determines all future
+        keys).  Used by :mod:`repro.server.snapshot`."""
+        return {"root": self._root.hex(), "counter": self._counter}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KeyGenerator":
+        """Rebuild a generator from :meth:`state` output."""
+        generator = cls()
+        generator._root = bytes.fromhex(state["root"])
+        generator._counter = int(state["counter"])
+        return generator
+
+    def fresh_secret(self) -> bytes:
+        """Return ``KEY_SIZE`` fresh pseudo-random bytes."""
+        self._counter += 1
+        return hmac.new(
+            self._root, self._counter.to_bytes(8, "big"), hashlib.sha256
+        ).digest()
+
+    def generate(self, key_id: str, version: int = 0) -> KeyMaterial:
+        """Create fresh key material for ``key_id`` at ``version``."""
+        return KeyMaterial(key_id=key_id, version=version, secret=self.fresh_secret())
+
+    def rekey(self, old: KeyMaterial) -> KeyMaterial:
+        """Create a fresh replacement for ``old`` with the version bumped.
+
+        The new secret is unrelated to the old one (fresh randomness), which
+        is what forward confidentiality requires.
+        """
+        return KeyMaterial(
+            key_id=old.key_id, version=old.version + 1, secret=self.fresh_secret()
+        )

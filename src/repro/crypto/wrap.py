@@ -1,0 +1,96 @@
+"""Key wrapping: encrypting one key under another.
+
+A rekey message in any LKH-family protocol is a collection of *wrapped keys*:
+``{K_new}_{K_child}`` — the new key for a tree node, encrypted under a key
+already held by some subset of the members.  :class:`EncryptedKey` is the
+unit the transport layer packs into packets and the unit every cost metric
+in the paper counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.cipher import decrypt, encrypt
+from repro.crypto.material import KEY_SIZE, KeyMaterial
+
+
+def _nonce(wrapping: KeyMaterial, payload_id: str, payload_version: int) -> bytes:
+    """Deterministic unique nonce for a (wrapping key, payload key) pair."""
+    text = f"{wrapping.key_id}#{wrapping.version}->{payload_id}#{payload_version}"
+    return text.encode("utf-8")
+
+
+@dataclass(frozen=True)
+class EncryptedKey:
+    """A key encrypted under another key: ``{payload}_{wrapping}``.
+
+    Attributes
+    ----------
+    wrapping_id / wrapping_version:
+        Identity of the key the payload is encrypted under.  A member holds
+        the payload iff it holds this exact (id, version).
+    payload_id / payload_version:
+        Identity of the key being distributed.
+    ciphertext:
+        Authenticated ciphertext of the payload secret.
+    """
+
+    wrapping_id: str
+    wrapping_version: int
+    payload_id: str
+    payload_version: int
+    ciphertext: bytes = field(repr=False)
+
+    SIZE_BYTES = KEY_SIZE + 16
+    """Wire size of one encrypted key: secret plus authentication tag.
+
+    Packet-capacity computations in :mod:`repro.transport` use this; the
+    paper's cost metric is simply the *count* of these units.
+    """
+
+    @property
+    def wrapping_handle(self) -> tuple:
+        return (self.wrapping_id, self.wrapping_version)
+
+    @property
+    def payload_handle(self) -> tuple:
+        return (self.payload_id, self.payload_version)
+
+
+def wrap_key(wrapping: KeyMaterial, payload: KeyMaterial) -> EncryptedKey:
+    """Encrypt ``payload`` under ``wrapping``."""
+    nonce = _nonce(wrapping, payload.key_id, payload.version)
+    ciphertext = encrypt(wrapping.secret, nonce, payload.secret)
+    return EncryptedKey(
+        wrapping_id=wrapping.key_id,
+        wrapping_version=wrapping.version,
+        payload_id=payload.key_id,
+        payload_version=payload.version,
+        ciphertext=ciphertext,
+    )
+
+
+def unwrap_key(wrapping: KeyMaterial, encrypted: EncryptedKey) -> KeyMaterial:
+    """Recover the payload key from ``encrypted`` using ``wrapping``.
+
+    Raises
+    ------
+    ValueError
+        If ``wrapping`` is not the key the payload was wrapped under (the
+        caller looked up the wrong key).
+    repro.crypto.AuthenticationError
+        If the ciphertext fails authentication (forged or corrupted).
+    """
+    if wrapping.handle != encrypted.wrapping_handle:
+        raise ValueError(
+            f"wrapping key mismatch: have {wrapping.handle}, "
+            f"need {encrypted.wrapping_handle}"
+        )
+    nonce = _nonce(wrapping, encrypted.payload_id, encrypted.payload_version)
+    secret = decrypt(wrapping.secret, nonce, encrypted.ciphertext)
+    return KeyMaterial(
+        key_id=encrypted.payload_id,
+        version=encrypted.payload_version,
+        secret=secret,
+    )

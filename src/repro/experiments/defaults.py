@@ -1,0 +1,44 @@
+"""Table 1: default parameter values for the two-partition evaluation,
+plus the Section 4 defaults, as importable constants."""
+
+from __future__ import annotations
+
+from repro.analysis.twopartition import TwoPartitionParameters
+
+REKEY_PERIOD_S = 60.0
+GROUP_SIZE = 65_536
+TREE_DEGREE = 4
+K_PERIODS = 10
+SHORT_MEAN_S = 180.0  # 3 minutes
+LONG_MEAN_S = 10_800.0  # 3 hours
+ALPHA = 0.8
+
+#: Section 4 defaults.
+SECTION4_GROUP_SIZE = 65_536
+SECTION4_DEPARTURES = 256
+SECTION4_HIGH_LOSS = 0.20
+SECTION4_LOW_LOSS = 0.02
+
+#: Table 1 as a parameter object.
+TABLE1 = TwoPartitionParameters(
+    group_size=GROUP_SIZE,
+    degree=TREE_DEGREE,
+    rekey_period=REKEY_PERIOD_S,
+    k_periods=K_PERIODS,
+    short_mean=SHORT_MEAN_S,
+    long_mean=LONG_MEAN_S,
+    alpha=ALPHA,
+)
+
+
+def table1_rows():
+    """The rows of Table 1, ``(description, symbol, value)``."""
+    return [
+        ("Rekeying Period", "Tp", f"{REKEY_PERIOD_S:.0f} s"),
+        ("Group Size", "N", str(GROUP_SIZE)),
+        ("Degree of a Keytree", "d", str(TREE_DEGREE)),
+        ("K = Ts/Tp", "K", str(K_PERIODS)),
+        ("Small Mean", "Ms", "3 minutes"),
+        ("Large Mean", "Ml", "3 hours"),
+        ("Fraction of Class Cs Members", "alpha", str(ALPHA)),
+    ]

@@ -1,0 +1,130 @@
+"""Section 4.4's multi-group observation: receiver-side bandwidth.
+
+"There are protocols [YSI99] using multiple multicast groups ... If our
+loss-homogenized scheme is applied, the key server can maintain one key
+tree for each group.  Using multiple groups does not affect the rekeying
+overhead for the key server, whereas the receivers can reduce their
+bandwidth consumption significantly ... because of the sparseness
+property of rekey payload.  Moreover, it helps achieve inter-receiver
+fairness because the low loss members will not receive redundant keys
+that are unnecessary to them."
+
+This experiment quantifies all three claims with the Appendix B models:
+
+* **server cost** — identical whether the per-class trees share one
+  multicast group or use one group each (same keys leave the server);
+* **receiver bandwidth** — keys *arriving* at a receiver: with one
+  shared group every receiver hears every tree's traffic; with one group
+  per tree it hears only its own tree's (plus the group-key wraps);
+* **fairness** — the ratio of what a low-loss receiver hears to what it
+  actually needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.wka import expected_transmissions, wka_rekey_cost
+from repro.experiments.defaults import (
+    SECTION4_DEPARTURES,
+    SECTION4_GROUP_SIZE,
+    SECTION4_HIGH_LOSS,
+    SECTION4_LOW_LOSS,
+    TREE_DEGREE,
+)
+from repro.experiments.fig6 import mixture_for
+from repro.experiments.report import Series
+
+
+@dataclass(frozen=True)
+class ReceiverBandwidth:
+    """Per-rekeying keys heard by one receiver class, by delivery layout."""
+
+    server_cost: float
+    shared_group: Dict[str, float]  # class name -> keys heard
+    per_tree_groups: Dict[str, float]
+
+
+def receiver_bandwidth(
+    alpha: float,
+    group_size: int = SECTION4_GROUP_SIZE,
+    departures: int = SECTION4_DEPARTURES,
+    degree: int = TREE_DEGREE,
+    high_loss: float = SECTION4_HIGH_LOSS,
+    low_loss: float = SECTION4_LOW_LOSS,
+) -> ReceiverBandwidth:
+    """Keys heard per receiver class under the two multicast layouts.
+
+    The loss-homogenized server is used in both cases; only the *delivery
+    scope* differs.  "Keys heard" = keys transmitted to the receiver's
+    multicast scope × (1 − its loss rate).
+    """
+    classes = {}
+    if alpha > 0:
+        classes["high"] = (high_loss, alpha)
+    if alpha < 1:
+        classes["low"] = (low_loss, 1 - alpha)
+
+    per_tree_cost = {}
+    for name, (rate, fraction) in classes.items():
+        size = group_size * fraction
+        per_tree_cost[name] = wka_rekey_cost(
+            size, departures * fraction, ((rate, 1.0),), degree
+        )
+    dek_cost = 0.0
+    if len(classes) > 1:
+        for name, (rate, fraction) in classes.items():
+            dek_cost += expected_transmissions(group_size * fraction, ((rate, 1.0),))
+    server_cost = sum(per_tree_cost.values()) + dek_cost
+
+    shared = {}
+    split = {}
+    for name, (rate, __) in classes.items():
+        hear = 1.0 - rate
+        shared[name] = server_cost * hear
+        split[name] = (per_tree_cost[name] + dek_cost) * hear
+    return ReceiverBandwidth(
+        server_cost=server_cost, shared_group=shared, per_tree_groups=split
+    )
+
+
+def receiver_bandwidth_series(
+    alpha_values: Optional[Iterable[float]] = None,
+) -> Series:
+    """Low-loss receiver bandwidth vs alpha, both layouts, plus savings."""
+    alphas = list(alpha_values) if alpha_values is not None else [
+        round(0.1 * i, 2) for i in range(1, 10)
+    ]
+    series = Series(
+        title=(
+            "Section 4.4 — receiver-side keys heard per rekeying "
+            "(low-loss class), shared vs per-tree multicast groups"
+        ),
+        x_label="alpha",
+        x_values=[float(a) for a in alphas],
+    )
+    shared, split, saving, server = [], [], [], []
+    for alpha in alphas:
+        result = receiver_bandwidth(alpha)
+        shared.append(result.shared_group["low"])
+        split.append(result.per_tree_groups["low"])
+        saving.append(
+            (result.shared_group["low"] - result.per_tree_groups["low"])
+            / result.shared_group["low"]
+            * 100
+        )
+        server.append(result.server_cost)
+    series.add_column("server-cost", server)
+    series.add_column("shared-group", shared)
+    series.add_column("per-tree-groups", split)
+    series.add_column("receiver-saving-%", saving)
+    series.notes.append(
+        "server cost is layout-independent; per-tree groups spare low-loss "
+        "receivers the high-loss tree's replicated traffic"
+    )
+    return series
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(receiver_bandwidth_series().format_table())

@@ -1,0 +1,169 @@
+"""MARKS: zero-side-effect key sequences (Briscoe [Briscoe99]).
+
+One of the scalable rekeying schemes the paper's introduction surveys.
+MARKS takes the opposite trade to LKH: instead of rekeying on membership
+change, time is divided into slots and the slot keys form the leaves of a
+*binary hash tree* derived top-down from a root seed::
+
+    seed(child_0) = H(seed || 0)      seed(child_1) = H(seed || 1)
+
+A member subscribing to slots ``[start, end)`` receives the minimal set
+of subtree seeds covering that interval — at most ``2·log2(T)`` seeds for
+``T`` slots — over its registration channel, and derives each slot key
+itself.  *No rekey messages ever*: joins and planned leaves cost zero
+multicast bandwidth.  The catch (why the paper's two-partition scheme
+still matters): the membership interval must be known and paid for in
+advance, and early eviction is impossible without switching schemes.
+
+This implementation provides the sender side (:class:`MarksKeySequence`)
+and receiver side (:class:`MarksReceiver`), plus the cover computation,
+so benchmarks can compare its costs against LKH-family rekeying on
+pre-planned workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.material import KeyGenerator, KeyMaterial
+
+
+def _child_seed(seed: bytes, bit: int) -> bytes:
+    return hashlib.sha256(b"marks" + seed + bytes([bit])).digest()
+
+
+def _node_id(depth: int, index: int) -> str:
+    return f"marks/{depth}.{index}"
+
+
+class MarksKeySequence:
+    """Sender-side MARKS state: the seed tree over ``2**depth`` time slots.
+
+    Parameters
+    ----------
+    depth:
+        Tree depth; the sequence covers ``T = 2**depth`` slots.
+    keygen:
+        Source of the root seed.
+    """
+
+    def __init__(self, depth: int = 10, keygen: Optional[KeyGenerator] = None) -> None:
+        if depth < 1 or depth > 40:
+            raise ValueError("depth must be in [1, 40]")
+        self.depth = depth
+        generator = keygen if keygen is not None else KeyGenerator()
+        self._root_seed = generator.fresh_secret()
+
+    @property
+    def slots(self) -> int:
+        """Number of time slots the sequence covers."""
+        return 1 << self.depth
+
+    # ------------------------------------------------------------------
+    # seed derivation
+    # ------------------------------------------------------------------
+
+    def _seed(self, depth: int, index: int) -> bytes:
+        """Seed of the node ``index`` at ``depth`` (root is (0, 0))."""
+        if not 0 <= depth <= self.depth:
+            raise ValueError(f"depth {depth} outside [0, {self.depth}]")
+        if not 0 <= index < (1 << depth):
+            raise ValueError(f"index {index} outside level {depth}")
+        seed = self._root_seed
+        for level in range(depth - 1, -1, -1):
+            seed = _child_seed(seed, (index >> level) & 1)
+        return seed
+
+    def slot_key(self, slot: int) -> KeyMaterial:
+        """The data-encryption key of one time slot."""
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} outside [0, {self.slots})")
+        return KeyMaterial(
+            key_id=f"marks/slot:{slot}", version=0, secret=self._seed(self.depth, slot)
+        )
+
+    # ------------------------------------------------------------------
+    # interval covers
+    # ------------------------------------------------------------------
+
+    def cover(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Minimal set of ``(depth, index)`` subtrees covering ``[start, end)``.
+
+        Classic segment-tree decomposition; at most ``2·depth`` nodes.
+        """
+        if not 0 <= start < end <= self.slots:
+            raise ValueError(
+                f"need 0 <= start < end <= {self.slots}, got [{start}, {end})"
+            )
+        nodes: List[Tuple[int, int]] = []
+
+        def descend(depth: int, index: int, lo: int, hi: int) -> None:
+            if start <= lo and hi <= end:
+                nodes.append((depth, index))
+                return
+            if hi <= start or end <= lo:
+                return
+            mid = (lo + hi) // 2
+            descend(depth + 1, index * 2, lo, mid)
+            descend(depth + 1, index * 2 + 1, mid, hi)
+
+        descend(0, 0, 0, self.slots)
+        return nodes
+
+    def grant(self, start: int, end: int) -> List[KeyMaterial]:
+        """The seeds a subscriber of ``[start, end)`` receives at
+        registration (unicast; zero multicast side effects)."""
+        return [
+            KeyMaterial(
+                key_id=_node_id(depth, index),
+                version=0,
+                secret=self._seed(depth, index),
+            )
+            for depth, index in self.cover(start, end)
+        ]
+
+
+class MarksReceiver:
+    """Receiver-side MARKS state: derives slot keys from granted seeds."""
+
+    def __init__(self, tree_depth: int, grant: List[KeyMaterial]) -> None:
+        self.tree_depth = tree_depth
+        self._seeds: Dict[Tuple[int, int], bytes] = {}
+        for material in grant:
+            prefix, __, position = material.key_id.partition("/")
+            if prefix != "marks":
+                raise ValueError(f"not a MARKS seed: {material.key_id!r}")
+            depth_text, __, index_text = position.partition(".")
+            self._seeds[(int(depth_text), int(index_text))] = material.secret
+
+    def slot_key(self, slot: int) -> KeyMaterial:
+        """Derive the key of ``slot``.
+
+        Raises
+        ------
+        KeyError
+            If the slot is outside every granted subtree — the receiver
+            did not pay for it, and the one-way derivation gives it no
+            way in.
+        """
+        if not 0 <= slot < (1 << self.tree_depth):
+            raise KeyError(f"slot {slot} outside the key sequence")
+        for (depth, index), seed in self._seeds.items():
+            span = 1 << (self.tree_depth - depth)
+            lo = index * span
+            if lo <= slot < lo + span:
+                for level in range(self.tree_depth - depth - 1, -1, -1):
+                    seed = _child_seed(seed, ((slot - lo) >> level) & 1)
+                return KeyMaterial(
+                    key_id=f"marks/slot:{slot}", version=0, secret=seed
+                )
+        raise KeyError(f"slot {slot} not covered by this receiver's grant")
+
+    def covered_slots(self) -> List[int]:
+        """Every slot this receiver can derive (sorted)."""
+        slots = set()
+        for depth, index in self._seeds:
+            span = 1 << (self.tree_depth - depth)
+            slots.update(range(index * span, index * span + span))
+        return sorted(slots)

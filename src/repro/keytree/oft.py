@@ -1,0 +1,393 @@
+"""One-way function trees (OFT, Balenson–McGrew–Sherman [BM00]).
+
+The paper notes (Section 2.1.1) that its partitioning optimizations apply
+to any hierarchical key-tree scheme, OFT included.  This module provides a
+working binary OFT so the repository can demonstrate that claim and so the
+ablation benchmarks can compare per-eviction bandwidth (≈ h encryptions for
+OFT vs ≈ d·h for LKH).
+
+In an OFT the key of an internal node is *computed*, not generated::
+
+    k_v = H( blind(k_left) || blind(k_right) )
+
+where ``blind`` is a one-way function.  A member knows its own leaf secret
+and the blinded keys of the sibling of every node on its path, from which
+it computes every key up to the root.  Rekeying therefore only needs to
+deliver *one* blinded key per tree level.
+
+Implementation notes
+--------------------
+* The tree is strictly binary; joins split a shallowest leaf, departures
+  splice the sibling subtree up.
+* Blinded keys travel as :class:`~repro.crypto.wrap.EncryptedKey` records
+  whose payload id encodes the ancestor node and child position, wrapped
+  under the *computed* key of the subtree that needs them, so the cost
+  metric (encrypted-key count) is directly comparable with LKH.
+* Structural changes members cannot infer from ciphertexts alone (a split
+  above their leaf, a spliced-out ancestor) travel as explicit broadcast
+  metadata, as the OFT drafts do with key-tree update notifications.
+* All OFT key material carries ``version=0``; freshness is implicit in the
+  secrets themselves, and payload versions carry the broadcast sequence
+  number so wrap nonces never repeat.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.cipher import AuthenticationError
+from repro.crypto.material import KeyGenerator, KeyMaterial
+from repro.crypto.wrap import EncryptedKey, unwrap_key, wrap_key
+from repro.keytree.node import Node
+
+
+def blind(key: KeyMaterial) -> bytes:
+    """The one-way blinding function ``g``."""
+    return hmac.new(key.secret, b"oft-blind", hashlib.sha256).digest()
+
+
+def _mix(blinded_children: List[bytes]) -> bytes:
+    """The mixing function ``f`` producing an internal node secret."""
+    return hashlib.sha256(b"oft-mix" + b"".join(blinded_children)).digest()
+
+
+def _blind_id(ancestor_id: str, position: int) -> str:
+    """Payload id: 'blinded key of the child at ``position`` under ancestor'."""
+    return f"blind:{ancestor_id}@{position}"
+
+
+def _decode_blind_id(payload_id: str) -> Tuple[str, int]:
+    body = payload_id[len("blind:"):]
+    ancestor_id, __, position = body.rpartition("@")
+    return ancestor_id, int(position)
+
+
+@dataclass
+class OftBroadcast:
+    """One OFT rekey broadcast.
+
+    Attributes
+    ----------
+    seqno:
+        Broadcast sequence number (also the payload version of every
+        blinded key inside, guaranteeing nonce uniqueness).
+    encrypted_blinds:
+        Blinded keys (and refreshed leaf secrets) wrapped for the members
+        that need them.  ``len`` of this list is the bandwidth cost.
+    split:
+        ``(victim_member_id, joint_node_id)`` when a join split the victim's
+        leaf: the victim must insert ``joint_node_id`` at the bottom of its
+        ancestor path.
+    spliced:
+        Node id of an internal node removed by a departure; every member
+        holding it in its path drops it.
+    """
+
+    seqno: int
+    encrypted_blinds: List[EncryptedKey] = field(default_factory=list)
+    joined: List[str] = field(default_factory=list)
+    departed: List[str] = field(default_factory=list)
+    split: Optional[Tuple[str, str]] = None
+    spliced: Optional[str] = None
+
+    @property
+    def cost(self) -> int:
+        """Number of encrypted keys — comparable with LKH's metric."""
+        return len(self.encrypted_blinds)
+
+
+@dataclass
+class OftMemberState:
+    """What one member knows and can compute.
+
+    ``sibling_blinds`` maps each ancestor node id to ``(own_position,
+    sibling_blind)`` — the member-side child's position under that ancestor
+    (0 = left) and the blinded key of the other child.
+    ``path`` lists ancestor node ids from the leaf's parent up to the root.
+    """
+
+    member_id: str
+    leaf_key: KeyMaterial
+    leaf_node_id: str
+    sibling_blinds: Dict[str, Tuple[int, bytes]] = field(default_factory=dict)
+    path: List[str] = field(default_factory=list)
+
+    def compute_path_keys(self) -> Dict[str, KeyMaterial]:
+        """Recompute every ancestor key from the leaf secret and blinds."""
+        keys: Dict[str, KeyMaterial] = {self.leaf_node_id: self.leaf_key}
+        current = self.leaf_key
+        for ancestor_id in self.path:
+            entry = self.sibling_blinds.get(ancestor_id)
+            if entry is None:
+                break
+            position, sibling_blind = entry
+            own_blind = blind(current)
+            ordered = (
+                [own_blind, sibling_blind]
+                if position == 0
+                else [sibling_blind, own_blind]
+            )
+            current = KeyMaterial(key_id=ancestor_id, version=0, secret=_mix(ordered))
+            keys[ancestor_id] = current
+        return keys
+
+    def group_key(self) -> Optional[KeyMaterial]:
+        """The root key as this member computes it, or ``None`` if blinds are missing."""
+        if not self.path:
+            return self.leaf_key
+        return self.compute_path_keys().get(self.path[-1])
+
+    def process_broadcast(self, broadcast: OftBroadcast) -> None:
+        """Absorb structural metadata and any decryptable blinded keys."""
+        if broadcast.split is not None:
+            victim_id, joint_id = broadcast.split
+            if victim_id == self.member_id:
+                self.path.insert(0, joint_id)
+        if broadcast.spliced is not None and broadcast.spliced in self.path:
+            self.path.remove(broadcast.spliced)
+            self.sibling_blinds.pop(broadcast.spliced, None)
+
+        pending = list(broadcast.encrypted_blinds)
+        progress = True
+        while progress and pending:
+            progress = False
+            keys = self.compute_path_keys()
+            remaining = []
+            for ek in pending:
+                wrapping = keys.get(ek.wrapping_id)
+                if wrapping is None:
+                    remaining.append(ek)
+                    continue
+                try:
+                    payload = unwrap_key(wrapping, ek)
+                except (AuthenticationError, ValueError):
+                    remaining.append(ek)
+                    continue
+                if ek.payload_id == self.leaf_node_id:
+                    # Our own leaf secret was re-randomized by the server.
+                    self.leaf_key = KeyMaterial(self.leaf_node_id, 0, payload.secret)
+                    progress = True
+                    continue
+                ancestor_id, position = _decode_blind_id(ek.payload_id)
+                if ancestor_id in self.path:
+                    self.sibling_blinds[ancestor_id] = (1 - position, payload.secret)
+                    progress = True
+                else:
+                    remaining.append(ek)
+            pending = remaining
+
+
+class OneWayFunctionTree:
+    """Server-side binary OFT.
+
+    The server keeps the authoritative tree; members are driven purely by
+    the returned :class:`OftBroadcast` objects (plus the bootstrap state a
+    joiner receives over its registration channel), which is what the tests
+    exercise to prove the protocol is self-contained.
+    """
+
+    def __init__(self, keygen: Optional[KeyGenerator] = None, name: str = "oft") -> None:
+        self.keygen = keygen if keygen is not None else KeyGenerator()
+        self.name = name
+        self.root: Optional[Node] = None
+        self._member_leaf: Dict[str, Node] = {}
+        self._seq = itertools.count()
+        self._broadcast_seq = itertools.count(1)
+
+    # -- structure helpers -------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of members in the tree."""
+        return len(self._member_leaf)
+
+    def __contains__(self, member_id: str) -> bool:
+        return member_id in self._member_leaf
+
+    def members(self) -> List[str]:
+        """Current member ids (unordered)."""
+        return list(self._member_leaf)
+
+    def _fresh_internal(self) -> Node:
+        node_id = f"{self.name}/n{next(self._seq)}"
+        return Node(node_id, KeyMaterial(node_id, 0, b"\x00" * 32))
+
+    def _recompute_up(self, node: Optional[Node]) -> None:
+        """Recompute functional keys from ``node`` to the root."""
+        while node is not None:
+            if not node.is_leaf:
+                blinds = [blind(child.key) for child in node.children]
+                node.key = KeyMaterial(node.node_id, 0, _mix(blinds))
+            node = node.parent
+
+    def group_key(self) -> KeyMaterial:
+        """The current group (root) key."""
+        if self.root is None:
+            raise RuntimeError("empty OFT has no group key")
+        return self.root.key
+
+    def height(self) -> int:
+        """Maximum leaf depth."""
+        if self.root is None:
+            return 0
+        return max(leaf.depth for leaf in self.root.iter_leaves())
+
+    def _shallowest_leaf(self) -> Node:
+        assert self.root is not None
+        frontier = [self.root]
+        while frontier:
+            nxt: List[Node] = []
+            for node in frontier:
+                if node.is_leaf:
+                    return node
+                nxt.extend(node.children)
+            frontier = nxt
+        raise RuntimeError("tree has no leaves")
+
+    # -- membership operations ----------------------------------------------
+
+    def join(self, member_id: str) -> Tuple[OftMemberState, OftBroadcast]:
+        """Admit ``member_id``; return its bootstrap state and the broadcast.
+
+        The displaced leaf gets a fresh secret so the joiner cannot
+        reconstruct pre-join group keys; one blinded key per level updates
+        the rest of the group.
+        """
+        if member_id in self._member_leaf:
+            raise ValueError(f"member {member_id!r} already in OFT {self.name!r}")
+        seqno = next(self._broadcast_seq)
+        broadcast = OftBroadcast(seqno=seqno, joined=[member_id])
+        leaf_id = f"member:{member_id}"
+        leaf = Node(leaf_id, self.keygen.generate(leaf_id), member_id=member_id)
+        self._member_leaf[member_id] = leaf
+
+        if self.root is None:
+            self.root = leaf
+            return self._bootstrap_state(leaf), broadcast
+
+        victim = self._shallowest_leaf()
+        parent = victim.parent
+        victim_index = parent.children.index(victim) if parent is not None else 0
+        if parent is not None:
+            parent.remove_child(victim)
+        joint = self._fresh_internal()
+        broadcast.split = (victim.member_id or "", joint.node_id)
+
+        # Backward secrecy: re-randomize the displaced member's leaf secret,
+        # delivered under its previous key.
+        old_victim_key = victim.key
+        victim.key = self.keygen.generate(victim.node_id, version=0)
+        broadcast.encrypted_blinds.append(
+            wrap_key(old_victim_key, KeyMaterial(victim.node_id, seqno, victim.key.secret))
+        )
+
+        joint.add_child(victim)
+        joint.add_child(leaf)
+        if parent is not None:
+            # Re-insert at the victim's old index: sibling positions of the
+            # other children must not shift, or their ordered key mixing
+            # would silently diverge from the server's.
+            parent.insert_child(victim_index, joint)
+        else:
+            self.root = joint
+        self._recompute_up(joint)
+
+        # At the joint both children are news to each other; above it, the
+        # on-path child's blind changed at every level.
+        self._emit_blind(broadcast, joint, 0)
+        self._emit_blind(broadcast, joint, 1)
+        self._emit_path_blinds(broadcast, start=joint)
+        return self._bootstrap_state(leaf), broadcast
+
+    def leave(self, member_id: str) -> OftBroadcast:
+        """Evict ``member_id``; splice the sibling up and refresh one leaf.
+
+        The evicted member knew the blinded keys along its path, so the
+        promoted sibling subtree's key must change: one leaf secret inside
+        it is re-randomized (delivered under that leaf's previous key),
+        which cascades fresh keys all the way to the root.
+        """
+        leaf = self._member_leaf.pop(member_id, None)
+        if leaf is None:
+            raise KeyError(f"member {member_id!r} is not in OFT {self.name!r}")
+        seqno = next(self._broadcast_seq)
+        broadcast = OftBroadcast(seqno=seqno, departed=[member_id])
+        parent = leaf.parent
+        if parent is None:
+            self.root = None
+            return broadcast
+
+        sibling = next(c for c in parent.children if c is not leaf)
+        grand = parent.parent
+        parent.remove_child(leaf)
+        parent.remove_child(sibling)
+        if grand is not None:
+            # Promote the sibling into the parent's exact slot so the other
+            # children of ``grand`` keep their positions (ordered mixing).
+            parent_index = grand.children.index(parent)
+            grand.remove_child(parent)
+            grand.insert_child(parent_index, sibling)
+        else:
+            self.root = sibling
+        broadcast.spliced = parent.node_id
+
+        # Re-randomize one leaf inside the promoted subtree.
+        refresh = sibling
+        while not refresh.is_leaf:
+            refresh = refresh.children[0]
+        old_key = refresh.key
+        refresh.key = self.keygen.generate(refresh.node_id, version=0)
+        broadcast.encrypted_blinds.append(
+            wrap_key(old_key, KeyMaterial(refresh.node_id, seqno, refresh.key.secret))
+        )
+        self._recompute_up(refresh.parent)
+        self._emit_path_blinds(broadcast, start=refresh)
+        return broadcast
+
+    # -- broadcast construction ----------------------------------------------
+
+    def _emit_blind(self, broadcast: OftBroadcast, ancestor: Node, position: int) -> None:
+        """Wrap the blinded key of ``ancestor.children[position]`` for the
+        other child's subtree."""
+        child = ancestor.children[position]
+        sibling = ancestor.children[1 - position]
+        payload = KeyMaterial(
+            _blind_id(ancestor.node_id, position), broadcast.seqno, blind(child.key)
+        )
+        broadcast.encrypted_blinds.append(wrap_key(sibling.key, payload))
+
+    def _emit_path_blinds(self, broadcast: OftBroadcast, start: Node) -> None:
+        """From ``start`` upward: at each ancestor, the on-path child's key
+        changed, so send its new blind to the off-path subtree."""
+        prev = start
+        node = start.parent
+        while node is not None:
+            position = node.children.index(prev)
+            self._emit_blind(broadcast, node, position)
+            prev = node
+            node = node.parent
+
+    def _bootstrap_state(self, leaf: Node) -> OftMemberState:
+        """Authoritative state for a member (used as the joiner's bootstrap,
+        delivered over the registration channel)."""
+        state = OftMemberState(leaf.member_id or "", leaf.key, leaf.node_id)
+        node = leaf
+        while node.parent is not None:
+            parent = node.parent
+            position = parent.children.index(node)
+            sibling = parent.children[1 - position]
+            state.path.append(parent.node_id)
+            state.sibling_blinds[parent.node_id] = (position, blind(sibling.key))
+            node = parent
+        return state
+
+    def state_of(self, member_id: str) -> OftMemberState:
+        """Authoritative current state of ``member_id`` (server-side view)."""
+        leaf = self._member_leaf.get(member_id)
+        if leaf is None:
+            raise KeyError(f"member {member_id!r} is not in OFT {self.name!r}")
+        return self._bootstrap_state(leaf)

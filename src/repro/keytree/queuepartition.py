@@ -1,0 +1,102 @@
+"""The linear-queue S-partition used by the QT-scheme (Section 3.2).
+
+In the QT-scheme the short-term partition is not a tree at all: members in
+it hold exactly two keys — their individual key and the group key.  The two
+opposing effects the paper notes:
+
+* a join is cheap: the joiner needs only the (fresh) group key, one
+  encryption under its individual key, plus one encryption of the fresh
+  group key under the previous group key for everyone else;
+* a departure is expensive relative to tree schemes: the fresh group key
+  must be encrypted *individually* for every remaining queue member, so a
+  departure batch costs ``Ns`` encryptions (the ``Neq = Ns`` term in
+  eq. 8 of the paper).
+
+This module only manages queue membership and individual keys; deciding
+when to roll the group key and wrapping it is done by the composed server
+(:class:`repro.server.twopartition.TwoPartitionServer`), which owns the
+group DEK.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.crypto.material import KeyGenerator, KeyMaterial
+from repro.crypto.wrap import EncryptedKey, wrap_key
+
+
+class QueuePartition:
+    """A flat set of members, each holding only an individual key.
+
+    Parameters
+    ----------
+    keygen:
+        Fresh-key source for member individual keys generated here.
+    name:
+        Label used in diagnostics; individual key ids are global
+        (``member:<id>``) so they survive migration to a tree partition.
+    """
+
+    def __init__(self, keygen: Optional[KeyGenerator] = None, name: str = "queue") -> None:
+        self.keygen = keygen if keygen is not None else KeyGenerator()
+        self.name = name
+        self._keys: Dict[str, KeyMaterial] = {}
+
+    @property
+    def size(self) -> int:
+        """Number of members currently in the queue."""
+        return len(self._keys)
+
+    def __contains__(self, member_id: str) -> bool:
+        return member_id in self._keys
+
+    def members(self) -> List[str]:
+        """Member ids currently in the queue (unordered)."""
+        return list(self._keys)
+
+    def key_of(self, member_id: str) -> KeyMaterial:
+        """The individual key shared with ``member_id``."""
+        try:
+            return self._keys[member_id]
+        except KeyError:
+            raise KeyError(
+                f"member {member_id!r} is not in queue {self.name!r}"
+            ) from None
+
+    def add_member(
+        self, member_id: str, key: Optional[KeyMaterial] = None
+    ) -> KeyMaterial:
+        """Register ``member_id``; returns its individual key."""
+        if member_id in self._keys:
+            raise ValueError(f"member {member_id!r} already in queue {self.name!r}")
+        if key is None:
+            key = self.keygen.generate(f"member:{member_id}")
+        self._keys[member_id] = key
+        return key
+
+    def remove_member(self, member_id: str) -> KeyMaterial:
+        """Evict ``member_id``; returns the individual key it held.
+
+        The caller (composed server) must roll the group key afterwards —
+        the queue has no auxiliary keys of its own to refresh.
+        """
+        key = self._keys.pop(member_id, None)
+        if key is None:
+            raise KeyError(f"member {member_id!r} is not in queue {self.name!r}")
+        return key
+
+    def wrap_for_all(self, payload: KeyMaterial) -> List[EncryptedKey]:
+        """Encrypt ``payload`` individually for every queue member.
+
+        This is the ``Neq = Ns`` cost term of the QT-scheme: one encrypted
+        key per resident member.
+        """
+        return [wrap_key(key, payload) for key in self._keys.values()]
+
+    def wrap_for(self, member_id: str, payload: KeyMaterial) -> EncryptedKey:
+        """Encrypt ``payload`` for a single member."""
+        return wrap_key(self.key_of(member_id), payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<QueuePartition {self.name!r} members={self.size}>"

@@ -1,0 +1,91 @@
+"""Structural statistics for key trees.
+
+Used by tests and benchmarks to quantify balance and occupancy, and by the
+analytic-model validation to check that the simulated trees match the
+"full and balanced" assumption of Appendix A closely enough.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.keytree.tree import KeyTree
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """A snapshot of a key tree's shape.
+
+    Attributes
+    ----------
+    members:
+        Number of member leaves.
+    internal:
+        Number of key-encryption-key nodes (root included).
+    height:
+        Maximum leaf depth.
+    min_leaf_depth:
+        Minimum leaf depth (equals ``height`` in a perfectly even tree).
+    optimal_height:
+        ``ceil(log_d N)`` — the height of a perfectly packed tree.
+    mean_fanout:
+        Average children per internal node.
+    occupancy:
+        ``members / degree**height`` — fraction of the perfect tree's leaf
+        slots in use (1.0 for a full balanced tree).
+    level_populations:
+        Node count per depth level.
+    """
+
+    members: int
+    internal: int
+    height: int
+    min_leaf_depth: int
+    optimal_height: int
+    mean_fanout: float
+    occupancy: float
+    level_populations: Dict[int, int]
+
+    @property
+    def is_tight(self) -> bool:
+        """True when every leaf sits within one level of the deepest."""
+        return self.height - self.min_leaf_depth <= 1
+
+
+def collect_stats(tree: KeyTree) -> TreeStats:
+    """Compute a :class:`TreeStats` snapshot of ``tree``."""
+    members = tree.size
+    internal = 0
+    fanouts: List[int] = []
+    leaf_depths: List[int] = []
+    level_populations: Dict[int, int] = {}
+
+    depth_of = {tree.root.node_id: 0}
+    for node in tree.iter_nodes():
+        depth = depth_of[node.node_id]
+        for child in node.children:
+            depth_of[child.node_id] = depth + 1
+        level_populations[depth] = level_populations.get(depth, 0) + 1
+        if node.is_leaf:
+            leaf_depths.append(depth)
+        else:
+            internal += 1
+            fanouts.append(len(node.children))
+
+    height = max(leaf_depths) if leaf_depths else 0
+    min_leaf_depth = min(leaf_depths) if leaf_depths else 0
+    optimal = math.ceil(math.log(members, tree.degree)) if members > 1 else 0
+    mean_fanout = sum(fanouts) / len(fanouts) if fanouts else 0.0
+    occupancy = members / tree.degree**height if members and height else float(bool(members))
+    return TreeStats(
+        members=members,
+        internal=internal,
+        height=height,
+        min_leaf_depth=min_leaf_depth,
+        optimal_height=optimal,
+        mean_fanout=mean_fanout,
+        occupancy=occupancy,
+        level_populations=level_populations,
+    )

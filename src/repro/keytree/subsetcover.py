@@ -1,0 +1,159 @@
+"""Complete-Subtree broadcast encryption (the [MNL01] family's base scheme).
+
+The paper's Section 1 survey lists Subset-Difference [MNL01] among the
+logical-key-tree approaches.  This module implements the *Complete
+Subtree* (CS) method — the foundational scheme of that paper, of which
+Subset-Difference is the refinement — as an extension, so the repository
+can compare the *stateless-receiver* trade against LKH:
+
+* every one of ``2**depth`` receiver slots is a leaf of a static binary
+  tree; a receiver owns the keys of the ``depth + 1`` nodes on its path
+  (assigned once, never rekeyed — receivers can be offline forever);
+* to address exactly the non-revoked receivers, the center computes the
+  **cover**: the maximal subtrees containing no revoked leaf (the
+  subtrees hanging off the Steiner tree of the revoked set), and encrypts
+  the session key once per cover node;
+* cover size is at most ``r·log2(N/r)`` for ``r`` revocations — worse
+  than LKH's per-eviction cost for long-lived groups, but with *zero*
+  receiver state updates, which LKH cannot offer.
+
+Keys are static and per-node, derived from a center secret, so the center
+needs no per-receiver storage either.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Set
+
+from repro.crypto.material import KeyGenerator, KeyMaterial
+from repro.crypto.wrap import EncryptedKey, unwrap_key, wrap_key
+
+
+class CompleteSubtreeCenter:
+    """The broadcast center: static node keys + cover computation.
+
+    Parameters
+    ----------
+    depth:
+        Tree depth; serves ``N = 2**depth`` receiver slots.
+    keygen:
+        Source of the center master secret.
+    """
+
+    def __init__(self, depth: int = 10, keygen: Optional[KeyGenerator] = None) -> None:
+        if depth < 1 or depth > 40:
+            raise ValueError("depth must be in [1, 40]")
+        self.depth = depth
+        generator = keygen if keygen is not None else KeyGenerator()
+        self._master = generator.fresh_secret()
+        self._revoked: Set[int] = set()
+
+    @property
+    def capacity(self) -> int:
+        """Number of receiver slots."""
+        return 1 << self.depth
+
+    @property
+    def revoked(self) -> Set[int]:
+        """Currently revoked slots (copy)."""
+        return set(self._revoked)
+
+    # ------------------------------------------------------------------
+    # static keys
+    # ------------------------------------------------------------------
+
+    def node_key(self, depth: int, index: int) -> KeyMaterial:
+        """The static key of tree node ``(depth, index)``; root is (0, 0)."""
+        if not 0 <= depth <= self.depth:
+            raise ValueError(f"depth {depth} outside [0, {self.depth}]")
+        if not 0 <= index < (1 << depth):
+            raise ValueError(f"index {index} outside level {depth}")
+        secret = hashlib.sha256(
+            b"cs-node" + self._master + depth.to_bytes(2, "big") + index.to_bytes(8, "big")
+        ).digest()
+        return KeyMaterial(key_id=f"cs/{depth}.{index}", version=0, secret=secret)
+
+    def receiver_keys(self, slot: int) -> List[KeyMaterial]:
+        """The ``depth + 1`` path keys receiver ``slot`` stores forever."""
+        if not 0 <= slot < self.capacity:
+            raise ValueError(f"slot {slot} outside [0, {self.capacity})")
+        return [
+            self.node_key(depth, slot >> (self.depth - depth))
+            for depth in range(self.depth + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # revocation and covers
+    # ------------------------------------------------------------------
+
+    def revoke(self, slot: int) -> None:
+        """Permanently revoke a slot (stateless receivers: no message
+        needed — the next broadcast simply stops covering it)."""
+        if not 0 <= slot < self.capacity:
+            raise ValueError(f"slot {slot} outside [0, {self.capacity})")
+        self._revoked.add(slot)
+
+    def cover(self) -> List[tuple]:
+        """Maximal revoked-free subtrees as ``(depth, index)`` pairs.
+
+        Empty when everyone is revoked; ``[(0, 0)]`` when nobody is.
+        """
+        nodes: List[tuple] = []
+
+        def descend(depth: int, index: int) -> bool:
+            """Returns True when the subtree contains a revoked leaf."""
+            if depth == self.depth:
+                return index in self._revoked
+            span_bits = self.depth - depth
+            lo = index << span_bits
+            hi = lo + (1 << span_bits)
+            if not any(lo <= slot < hi for slot in self._revoked):
+                return False
+            left_dirty = descend(depth + 1, index * 2)
+            right_dirty = descend(depth + 1, index * 2 + 1)
+            if not left_dirty:
+                nodes.append((depth + 1, index * 2))
+            if not right_dirty:
+                nodes.append((depth + 1, index * 2 + 1))
+            return True
+
+        if not self._revoked:
+            return [(0, 0)]
+        if descend(0, 0) and len(self._revoked) == self.capacity:
+            return []
+        return nodes
+
+    def broadcast(self, session_key: KeyMaterial) -> List[EncryptedKey]:
+        """Encrypt ``session_key`` once per cover node.
+
+        Every non-revoked receiver holds exactly one cover-node key;
+        revoked receivers hold none.
+        """
+        return [
+            wrap_key(self.node_key(depth, index), session_key)
+            for depth, index in self.cover()
+        ]
+
+
+class CompleteSubtreeReceiver:
+    """A stateless receiver: its path keys, assigned once at provisioning."""
+
+    def __init__(self, slot: int, path_keys: Iterable[KeyMaterial]) -> None:
+        self.slot = slot
+        self._keys = {key.key_id: key for key in path_keys}
+
+    def extract(self, broadcast: Iterable[EncryptedKey]) -> KeyMaterial:
+        """Recover the session key from a broadcast.
+
+        Raises
+        ------
+        KeyError
+            If no broadcast entry is wrapped under a held key — i.e. this
+            receiver has been revoked.
+        """
+        for record in broadcast:
+            wrapping = self._keys.get(record.wrapping_id)
+            if wrapping is not None:
+                return unwrap_key(wrapping, record)
+        raise KeyError(f"receiver slot {self.slot} is not covered (revoked?)")

@@ -1,0 +1,49 @@
+"""Join (arrival) processes for group-membership workloads."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless joins at ``rate`` members per second."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be positive")
+
+    def times(self, rng: random.Random, horizon: float) -> Iterator[float]:
+        """Yield arrival times in ``[0, horizon)`` in increasing order."""
+        t = rng.expovariate(self.rate)
+        while t < horizon:
+            yield t
+            t += rng.expovariate(self.rate)
+
+
+@dataclass(frozen=True)
+class DeterministicArrivals:
+    """Evenly spaced joins, one every ``interval`` seconds.
+
+    Useful for steady-state workloads where the analytic model assumes a
+    fixed number of joins ``J`` per rekey interval.
+    """
+
+    interval: float
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("arrival interval must be positive")
+
+    def times(self, rng: random.Random, horizon: float) -> Iterator[float]:
+        """Yield arrival times in ``[0, horizon)``; ``rng`` is unused but
+        kept for interface symmetry with :class:`PoissonArrivals`."""
+        count = int(horizon / self.interval)
+        for i in range(1, count + 1):
+            t = i * self.interval
+            if t < horizon:
+                yield t

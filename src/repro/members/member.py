@@ -1,0 +1,204 @@
+"""The receiver-side key state machine.
+
+A member holds a set of identified, versioned keys: initially just the
+individual key established at registration, then — as rekey messages are
+absorbed — the keys on its path up to the group key.  The member never sees
+the tree structure; everything it learns arrives as
+:class:`~repro.crypto.wrap.EncryptedKey` records it can (or cannot) unwrap.
+
+The tests use this class to prove the security properties end to end:
+a member evicted at epoch *t* holds no key that unwraps any post-*t*
+group-key ciphertext, and a member joining at *t* holds nothing that
+decrypts pre-*t* data traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.crypto.cipher import AuthenticationError, decrypt
+from repro.crypto.material import KeyMaterial
+from repro.crypto.wrap import EncryptedKey, unwrap_key
+from repro.keytree.lkh import RekeyMessage
+
+
+class Member:
+    """One group member's key state.
+
+    Parameters
+    ----------
+    member_id:
+        The member's identity (matches the key server's view).
+    individual_key:
+        The key shared with the server at registration, over the simulated
+        out-of-band secure channel.
+    """
+
+    def __init__(self, member_id: str, individual_key: KeyMaterial) -> None:
+        self.member_id = member_id
+        self._keys: Dict[str, KeyMaterial] = {individual_key.key_id: individual_key}
+
+    # ------------------------------------------------------------------
+    # key-state queries
+    # ------------------------------------------------------------------
+
+    @property
+    def individual_key_id(self) -> str:
+        return f"member:{self.member_id}"
+
+    def holds(self, key_id: str, version: Optional[int] = None) -> bool:
+        """Whether this member holds ``key_id`` (at ``version`` if given)."""
+        key = self._keys.get(key_id)
+        if key is None:
+            return False
+        return version is None or key.version == version
+
+    def key(self, key_id: str) -> KeyMaterial:
+        """The member's current copy of ``key_id``."""
+        try:
+            return self._keys[key_id]
+        except KeyError:
+            raise KeyError(
+                f"member {self.member_id!r} does not hold key {key_id!r}"
+            ) from None
+
+    def held_versions(self) -> Dict[str, int]:
+        """Map of key_id -> version for everything currently held.
+
+        This is what the transport layer consults to decide which packets
+        this receiver is interested in (the rekey payload's *sparseness
+        property*, Section 2.2 of the paper).
+        """
+        return {key_id: key.version for key_id, key in self._keys.items()}
+
+    def key_count(self) -> int:
+        """Number of distinct keys held (path length + individual key)."""
+        return len(self._keys)
+
+    # ------------------------------------------------------------------
+    # rekey processing
+    # ------------------------------------------------------------------
+
+    def install(self, key: KeyMaterial) -> None:
+        """Install a key received over the registration (unicast) channel.
+
+        Refuses version downgrades, which would re-open a closed epoch.
+        """
+        current = self._keys.get(key.key_id)
+        if current is not None and current.version > key.version:
+            return
+        self._keys[key.key_id] = key
+
+    def absorb(self, encrypted_keys: Iterable[EncryptedKey]) -> List[KeyMaterial]:
+        """Unwrap everything reachable from the currently held keys.
+
+        Runs a fixed-point scan: keys learned in one pass can unlock wraps
+        seen in an earlier pass (rekey messages wrap a parent's fresh key
+        under a child's fresh key, so decryption proceeds bottom-up without
+        the member knowing the tree shape).
+
+        Returns the keys newly learned, in the order learned.
+        """
+        pending = list(encrypted_keys)
+        learned: List[KeyMaterial] = []
+        progress = True
+        while progress and pending:
+            progress = False
+            remaining: List[EncryptedKey] = []
+            for ek in pending:
+                wrapping = self._keys.get(ek.wrapping_id)
+                if wrapping is None or wrapping.version != ek.wrapping_version:
+                    remaining.append(ek)
+                    continue
+                current = self._keys.get(ek.payload_id)
+                if current is not None and current.version >= ek.payload_version:
+                    continue
+                try:
+                    payload = unwrap_key(wrapping, ek)
+                except (AuthenticationError, ValueError):
+                    remaining.append(ek)
+                    continue
+                self._keys[payload.key_id] = payload
+                learned.append(payload)
+                progress = True
+            pending = remaining
+        return learned
+
+    def apply_advances(self, advanced) -> List[KeyMaterial]:
+        """Apply ELK/LKH+ one-way advances: ``(key_id, new_version)`` pairs.
+
+        For every held key behind the announced version, compute
+        ``K_{v+1} = H(K_v)`` as many times as needed — a member that
+        missed earlier advance announcements catches up along the hash
+        chain for free (a property the random-refresh scheme lacks).
+        """
+        refreshed: List[KeyMaterial] = []
+        for key_id, version in advanced:
+            current = self._keys.get(key_id)
+            if current is None or current.version >= version:
+                continue
+            while current.version < version:
+                current = current.advance()
+            self._keys[key_id] = current
+            refreshed.append(current)
+        return refreshed
+
+    def process_rekey(self, message: RekeyMessage) -> List[KeyMaterial]:
+        """Absorb a full rekey broadcast; returns the keys newly learned.
+
+        One-way advances apply first (they are free and may unlock wraps
+        expressed against the advanced versions), then the wrapped keys.
+        """
+        learned = self.apply_advances(message.advanced)
+        learned.extend(self.absorb(message.encrypted_keys))
+        return learned
+
+    def useful_subset(self, encrypted_keys: Iterable[EncryptedKey]) -> List[EncryptedKey]:
+        """The wraps this member could use, by fixed-point reachability.
+
+        Unlike :meth:`absorb` this does **not** mutate state; it simulates
+        which records matter to this receiver, which is what a NACK-based
+        transport needs to know when deciding per-receiver interest.
+        """
+        versions = self.held_versions()
+        pending = list(encrypted_keys)
+        useful: List[EncryptedKey] = []
+        progress = True
+        while progress and pending:
+            progress = False
+            remaining = []
+            for ek in pending:
+                if versions.get(ek.wrapping_id) == ek.wrapping_version:
+                    if versions.get(ek.payload_id, -1) < ek.payload_version:
+                        versions[ek.payload_id] = ek.payload_version
+                        useful.append(ek)
+                        progress = True
+                else:
+                    remaining.append(ek)
+            pending = remaining
+        return useful
+
+    def drop_keys(self, key_ids: Iterable[str]) -> None:
+        """Forget keys (e.g. partition-local keys after a migration)."""
+        for key_id in key_ids:
+            self._keys.pop(key_id, None)
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+
+    def decrypt_data(self, group_key_id: str, nonce: bytes, blob: bytes) -> bytes:
+        """Decrypt application traffic protected by the group key.
+
+        Raises
+        ------
+        KeyError
+            If this member does not hold the group key at all.
+        repro.crypto.AuthenticationError
+            If the held version is stale (evicted member) or wrong.
+        """
+        key = self.key(group_key_id)
+        return decrypt(key.secret, nonce, blob)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Member {self.member_id!r} keys={len(self._keys)}>"

@@ -1,0 +1,96 @@
+"""Loss-class populations (Section 4 of the paper).
+
+Internet multicast loss measurements [Handley97] show strong receiver
+heterogeneity: most receivers see low loss, a minority see high loss.  The
+paper models this with two-point populations (``ph = 20%`` for a fraction
+``alpha`` of receivers, ``pl = 2%`` for the rest); this module generalizes
+to any finite mixture so the multi-tree ablation can use 4-point
+populations too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class LossClass:
+    """A homogeneous loss class: a name, a per-packet loss rate, and the
+    fraction of the receiver population that belongs to it."""
+
+    name: str
+    loss_rate: float
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class LossPopulation:
+    """A finite mixture of loss classes summing to the whole population."""
+
+    classes: Tuple[LossClass, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(c.fraction for c in self.classes)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"class fractions must sum to 1, got {total}")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError("class names must be distinct")
+
+    @staticmethod
+    def two_point(
+        high_loss: float = 0.20,
+        low_loss: float = 0.02,
+        high_fraction: float = 0.2,
+    ) -> "LossPopulation":
+        """The paper's default Section 4 population."""
+        return LossPopulation(
+            (
+                LossClass("high", high_loss, high_fraction),
+                LossClass("low", low_loss, 1.0 - high_fraction),
+            )
+        )
+
+    @staticmethod
+    def homogeneous(loss_rate: float) -> "LossPopulation":
+        """Every receiver sees the same loss rate."""
+        return LossPopulation((LossClass("all", loss_rate, 1.0),))
+
+    def assign(self, rng: random.Random) -> LossClass:
+        """Draw the loss class of a fresh receiver."""
+        u = rng.random()
+        acc = 0.0
+        for cls in self.classes:
+            acc += cls.fraction
+            if u < acc:
+                return cls
+        return self.classes[-1]
+
+    def rates_and_fractions(self) -> List[Tuple[float, float]]:
+        """``(loss_rate, fraction)`` pairs, the analytic models' input."""
+        return [(c.loss_rate, c.fraction) for c in self.classes]
+
+    def mean_loss(self) -> float:
+        """Population-average per-packet loss rate."""
+        return sum(c.loss_rate * c.fraction for c in self.classes)
+
+    def split_counts(self, total: int) -> List[int]:
+        """Deterministically split ``total`` receivers across classes,
+        largest-remainder rounding so the counts sum exactly to ``total``."""
+        raw = [c.fraction * total for c in self.classes]
+        counts = [int(x) for x in raw]
+        remainder = total - sum(counts)
+        order = sorted(
+            range(len(raw)), key=lambda i: raw[i] - counts[i], reverse=True
+        )
+        for i in order[:remainder]:
+            counts[i] += 1
+        return counts

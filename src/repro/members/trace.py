@@ -1,0 +1,178 @@
+"""Synthetic MBone-style membership traces.
+
+The paper motivates the two-partition design with Almeroth and Ammar's
+MBone measurements [AA97]: "group members typically either join for a very
+short period of time or stay for the entire session", e.g. a session with
+mean duration 5 hours but median only 6.5 minutes.  Those traces are not
+publicly available, so (per the substitution policy in DESIGN.md §5) this
+module generates session traces with the same statistical signature from
+the very membership models the paper's analysis consumes.
+
+A trace is a list of :class:`MembershipRecord` rows; it can be written to
+and read from a simple one-record-per-line text format so examples and
+simulations can share workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.members.durations import TwoClassDuration
+from repro.members.population import LossPopulation
+
+
+@dataclass(frozen=True)
+class MembershipRecord:
+    """One member's participation in a session."""
+
+    member_id: str
+    join_time: float
+    leave_time: float
+    member_class: str
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.leave_time < self.join_time:
+            raise ValueError("leave_time must not precede join_time")
+
+    @property
+    def duration(self) -> float:
+        return self.leave_time - self.join_time
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of a trace, echoing the [AA97] session metrics."""
+
+    members: int
+    mean_duration: float
+    median_duration: float
+    short_fraction: float
+    max_concurrency: int
+
+
+class MBoneTraceGenerator:
+    """Generate session traces from an arrival process and a duration model.
+
+    Parameters
+    ----------
+    duration_model:
+        Anything with ``sample_with_class(rng)`` (see
+        :mod:`repro.members.durations`); defaults to the paper's two-class
+        mixture.
+    arrival_rate:
+        Mean joins per second (Poisson).
+    loss_population:
+        Optional per-member loss-rate assignment for Section 4 workloads.
+    seed:
+        RNG seed; traces are fully reproducible.
+    """
+
+    def __init__(
+        self,
+        duration_model: Optional[TwoClassDuration] = None,
+        arrival_rate: float = 1.0,
+        loss_population: Optional[LossPopulation] = None,
+        seed: int = 0,
+    ) -> None:
+        if arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.duration_model = (
+            duration_model if duration_model is not None else TwoClassDuration()
+        )
+        self.arrival_rate = arrival_rate
+        self.loss_population = loss_population
+        self.rng = random.Random(seed)
+
+    def generate(self, session_length: float) -> List[MembershipRecord]:
+        """Generate all joins in ``[0, session_length)``.
+
+        Members still present at session end are recorded with
+        ``leave_time`` clamped to ``session_length`` ("stay for the entire
+        session" in [AA97] terms).
+        """
+        records: List[MembershipRecord] = []
+        t = self.rng.expovariate(self.arrival_rate)
+        index = 0
+        while t < session_length:
+            duration, member_class = self.duration_model.sample_with_class(self.rng)
+            loss = 0.0
+            if self.loss_population is not None:
+                loss = self.loss_population.assign(self.rng).loss_rate
+            records.append(
+                MembershipRecord(
+                    member_id=f"m{index}",
+                    join_time=t,
+                    leave_time=min(t + duration, session_length),
+                    member_class=member_class,
+                    loss_rate=loss,
+                )
+            )
+            index += 1
+            t += self.rng.expovariate(self.arrival_rate)
+        return records
+
+
+def trace_statistics(records: Sequence[MembershipRecord]) -> TraceStatistics:
+    """Summarize a trace (mean vs median duration, peak concurrency)."""
+    if not records:
+        return TraceStatistics(0, 0.0, 0.0, 0.0, 0)
+    durations = sorted(r.duration for r in records)
+    n = len(durations)
+    mean = sum(durations) / n
+    mid = n // 2
+    median = (
+        durations[mid] if n % 2 else (durations[mid - 1] + durations[mid]) / 2
+    )
+    short = sum(1 for r in records if r.member_class == "Cs") / n
+
+    events = sorted(
+        [(r.join_time, 1) for r in records] + [(r.leave_time, -1) for r in records]
+    )
+    concurrency = peak = 0
+    for __, delta in events:
+        concurrency += delta
+        peak = max(peak, concurrency)
+    return TraceStatistics(
+        members=n,
+        mean_duration=mean,
+        median_duration=median,
+        short_fraction=short,
+        max_concurrency=peak,
+    )
+
+
+def write_trace(records: Iterable[MembershipRecord], path: Union[str, Path]) -> None:
+    """Write a trace as one whitespace-separated record per line."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("# member_id join_time leave_time class loss_rate\n")
+        for r in records:
+            handle.write(
+                f"{r.member_id} {r.join_time:.6f} {r.leave_time:.6f} "
+                f"{r.member_class} {r.loss_rate:.6f}\n"
+            )
+
+
+def read_trace(path: Union[str, Path]) -> List[MembershipRecord]:
+    """Read a trace written by :func:`write_trace`."""
+    records: List[MembershipRecord] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            member_id, join_s, leave_s, member_class, loss_s = line.split()
+            records.append(
+                MembershipRecord(
+                    member_id=member_id,
+                    join_time=float(join_s),
+                    leave_time=float(leave_s),
+                    member_class=member_class,
+                    loss_rate=float(loss_s),
+                )
+            )
+    return records

@@ -1,0 +1,20 @@
+"""Network substrate: per-receiver loss processes and a lossy multicast channel.
+
+The paper's transport analysis assumes independent per-packet Bernoulli
+loss at each receiver (eq. 13 factorizes over receivers).  The simulator
+uses the same model by default and offers a Gilbert–Elliott two-state
+bursty alternative as an extension for sensitivity studies.
+"""
+
+from repro.network.channel import DeliveryReport, MulticastChannel
+from repro.network.loss import BernoulliLoss, GilbertElliottLoss, LossProcess
+from repro.network.topology import MulticastTopology
+
+__all__ = [
+    "BernoulliLoss",
+    "DeliveryReport",
+    "GilbertElliottLoss",
+    "LossProcess",
+    "MulticastChannel",
+    "MulticastTopology",
+]

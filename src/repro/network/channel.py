@@ -1,0 +1,105 @@
+"""A lossy multicast channel connecting the key server to the receivers.
+
+The channel knows every subscribed receiver's loss process; a multicast
+costs one server transmission and is independently delivered-or-lost at
+each receiver, matching the independence assumption of Appendix B.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generic, List, Optional, Set, TypeVar
+
+from repro.network.loss import LossProcess
+
+PacketT = TypeVar("PacketT")
+
+
+@dataclass
+class DeliveryReport(Generic[PacketT]):
+    """Outcome of one multicast: who received the packet."""
+
+    packet: PacketT
+    delivered_to: Set[str] = field(default_factory=set)
+    lost_at: Set[str] = field(default_factory=set)
+
+    @property
+    def fully_delivered(self) -> bool:
+        return not self.lost_at
+
+
+class MulticastChannel(Generic[PacketT]):
+    """A simulated lossy multicast tree.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed for loss draws; runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self._receivers: Dict[str, LossProcess] = {}
+        self.packets_sent = 0
+        self.receptions = 0
+        self.losses = 0
+
+    def subscribe(self, receiver_id: str, loss: LossProcess) -> None:
+        """Add a receiver with its loss process."""
+        if receiver_id in self._receivers:
+            raise ValueError(f"receiver {receiver_id!r} already subscribed")
+        self._receivers[receiver_id] = loss
+
+    def unsubscribe(self, receiver_id: str) -> None:
+        """Remove a receiver (e.g. on group departure)."""
+        self._receivers.pop(receiver_id, None)
+
+    def subscribers(self) -> List[str]:
+        """Current receiver ids (unordered)."""
+        return list(self._receivers)
+
+    def __contains__(self, receiver_id: str) -> bool:
+        return receiver_id in self._receivers
+
+    @property
+    def receiver_count(self) -> int:
+        return len(self._receivers)
+
+    def loss_of(self, receiver_id: str) -> LossProcess:
+        """The loss process attached to a receiver."""
+        try:
+            return self._receivers[receiver_id]
+        except KeyError:
+            raise KeyError(f"receiver {receiver_id!r} not subscribed") from None
+
+    def multicast(
+        self, packet: PacketT, audience: Optional[Set[str]] = None
+    ) -> DeliveryReport[PacketT]:
+        """Send one packet; draw an independent loss at every receiver.
+
+        Parameters
+        ----------
+        packet:
+            Opaque payload; the channel only counts it.
+        audience:
+            When given, only these receivers' outcomes are *reported*
+            (everyone still physically receives multicast traffic, but the
+            transport only cares who among the interested set got it —
+            the sparseness property).
+        """
+        self.packets_sent += 1
+        report: DeliveryReport[PacketT] = DeliveryReport(packet=packet)
+        targets = (
+            self._receivers.items()
+            if audience is None
+            else ((rid, self._receivers[rid]) for rid in audience if rid in self._receivers)
+        )
+        for receiver_id, loss in targets:
+            if loss.lost(self.rng):
+                report.lost_at.add(receiver_id)
+                self.losses += 1
+            else:
+                report.delivered_to.add(receiver_id)
+                self.receptions += 1
+        return report

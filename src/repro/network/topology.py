@@ -1,0 +1,144 @@
+"""Multicast topology substrate for topology-aware key trees ([BB01]).
+
+The paper's Section 2.3 cites Banerjee and Bhattacharjee: "organizing
+members in a key tree according to their topological locations would also
+be very beneficial, if the multicast topology is known to the key server".
+The benefit is locality: when the key tree mirrors the multicast
+distribution tree, a rekey packet's audience occupies few multicast
+subtrees, so the packet traverses (and is retransmitted over) fewer links.
+
+This module provides the substrate that claim needs:
+
+* :class:`MulticastTopology` — a rooted distribution tree (the key server
+  at the root, routers inside, receivers at the leaves), built directly
+  or synthesized randomly (``random_tree``);
+* link-cost accounting: the number of topology links a multicast to a
+  given audience touches (multicast forwards a packet once per link on
+  the union of root-to-receiver paths).
+
+``networkx`` is used for the synthetic-topology generator; the accounting
+itself is plain tree arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class MulticastTopology:
+    """A rooted multicast distribution tree.
+
+    Parameters
+    ----------
+    parent:
+        ``node -> parent`` for every non-root node.  The root is the
+        (single) node that never appears as a key, or is given explicitly.
+    root:
+        The key server's attachment point.
+    """
+
+    def __init__(self, parent: Dict[str, str], root: Optional[str] = None) -> None:
+        children: Dict[str, List[str]] = {}
+        nodes = set(parent) | set(parent.values())
+        for child, par in parent.items():
+            children.setdefault(par, []).append(child)
+        roots = nodes - set(parent)
+        if root is None:
+            if len(roots) != 1:
+                raise ValueError(f"expected exactly one root, found {sorted(roots)}")
+            root = next(iter(roots))
+        elif root not in nodes:
+            raise ValueError(f"root {root!r} not in topology")
+        self.root = root
+        self.parent = dict(parent)
+        self.children = children
+        self._depth_cache: Dict[str, int] = {root: 0}
+        # Validate connectivity/acyclicity by walking every node upward.
+        for node in nodes:
+            self._depth(node)
+
+    # -- construction --------------------------------------------------
+
+    @staticmethod
+    def random_tree(
+        receiver_count: int,
+        branching: int = 3,
+        depth: int = 4,
+        seed: int = 0,
+    ) -> Tuple["MulticastTopology", List[str]]:
+        """Synthesize a router tree and attach receivers to random routers
+        at the deepest level.  Returns ``(topology, receiver_ids)``.
+        """
+        if receiver_count < 1:
+            raise ValueError("need at least one receiver")
+        if branching < 1 or depth < 1:
+            raise ValueError("branching and depth must be positive")
+        rng = random.Random(seed)
+        parent: Dict[str, str] = {}
+        level = ["root"]
+        counter = itertools.count()
+        for __ in range(depth):
+            nxt: List[str] = []
+            for node in level:
+                for __ in range(branching):
+                    router = f"rt{next(counter)}"
+                    parent[router] = node
+                    nxt.append(router)
+            level = nxt
+        receivers = []
+        for i in range(receiver_count):
+            receiver = f"r{i}"
+            parent[receiver] = rng.choice(level)
+            receivers.append(receiver)
+        return MulticastTopology(parent, root="root"), receivers
+
+    # -- queries ---------------------------------------------------------
+
+    def _depth(self, node: str) -> int:
+        cached = self._depth_cache.get(node)
+        if cached is not None:
+            return cached
+        seen = []
+        current = node
+        while current not in self._depth_cache:
+            seen.append(current)
+            if current not in self.parent:
+                raise ValueError(f"node {current!r} is disconnected from the root")
+            current = self.parent[current]
+            if len(seen) > len(self.parent) + 1:
+                raise ValueError("topology contains a cycle")
+        depth = self._depth_cache[current]
+        for hop in reversed(seen):
+            depth += 1
+            self._depth_cache[hop] = depth
+        return self._depth_cache[node]
+
+    def path_to_root(self, node: str) -> List[str]:
+        """Nodes from ``node`` up to and including the root."""
+        path = [node]
+        while path[-1] != self.root:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def multicast_link_cost(self, audience: Iterable[str]) -> int:
+        """Links traversed delivering one packet to ``audience``: the size
+        of the union of root-to-receiver edge sets (standard multicast
+        forwarding)."""
+        edges: Set[Tuple[str, str]] = set()
+        for receiver in audience:
+            path = self.path_to_root(receiver)
+            for child, par in zip(path, path[1:]):
+                edges.add((child, par))
+        return len(edges)
+
+    def cluster_by_router(self, receivers: Sequence[str], level: int = 1) -> Dict[str, List[str]]:
+        """Group receivers by their ancestor router at ``level`` hops below
+        the root — the clustering a topology-aware key tree aligns with."""
+        clusters: Dict[str, List[str]] = {}
+        for receiver in receivers:
+            path = list(reversed(self.path_to_root(receiver)))  # root first
+            anchor = path[min(level, len(path) - 1)]
+            clusters.setdefault(anchor, []).append(receiver)
+        return clusters

@@ -1,0 +1,40 @@
+"""Key servers: the schemes the paper compares.
+
+* :class:`OneTreeServer` — the un-optimized baseline: one balanced LKH
+  tree, periodic batched rekeying.
+* :class:`TwoPartitionServer` — Section 3: QT (queue + tree), TT (tree +
+  tree) and PT (oracle placement) constructions, with batched S-to-L
+  migration after the S-period.
+* :class:`LossHomogenizedServer` — Section 4: one key tree per loss class
+  (or random placement, the control) under a common group key.
+* :class:`AdaptiveController` — Section 3.4: estimates (Ms, Ml, alpha)
+  from the observed membership trace and picks the best scheme and
+  S-period from the analytic model.
+
+All servers share the same lifecycle: ``join`` / ``leave`` enqueue
+membership changes; ``rekey`` processes the batch and returns a
+:class:`BatchResult` whose encrypted keys are handed to a transport (or
+counted directly — the paper's metric).
+"""
+
+from repro.server.adaptive import AdaptiveController, TraceEstimate
+from repro.server.base import BatchResult, GroupKeyServer, Registration
+from repro.server.losshomog import LossHomogenizedServer
+from repro.server.onetree import OneTreeServer
+from repro.server.scheduler import PeriodicScheduler
+from repro.server.snapshot import restore_server, snapshot_server
+from repro.server.twopartition import TwoPartitionServer
+
+__all__ = [
+    "AdaptiveController",
+    "BatchResult",
+    "GroupKeyServer",
+    "LossHomogenizedServer",
+    "OneTreeServer",
+    "PeriodicScheduler",
+    "Registration",
+    "TraceEstimate",
+    "restore_server",
+    "snapshot_server",
+    "TwoPartitionServer",
+]

@@ -1,0 +1,43 @@
+"""Periodic rekey scheduling (Kronos-style [SKJ00]).
+
+Batched rekeying decouples rekey frequency from membership dynamics: the
+server rekeys at fixed wall-clock points, ``Tp`` apart, regardless of how
+many changes accumulated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class PeriodicScheduler:
+    """Fixed-period rekey points: ``start + i * period``.
+
+    Parameters
+    ----------
+    period:
+        ``Tp`` in seconds (the paper's default is 60 s).
+    start:
+        Time of the first rekey point.
+    """
+
+    def __init__(self, period: float = 60.0, start: float = 0.0) -> None:
+        if period <= 0:
+            raise ValueError("rekey period must be positive")
+        self.period = period
+        self.start = start
+
+    def next_after(self, now: float) -> float:
+        """The first rekey point strictly after ``now``."""
+        if now < self.start:
+            return self.start
+        elapsed = now - self.start
+        intervals = int(elapsed / self.period) + 1
+        return self.start + intervals * self.period
+
+    def times(self, horizon: float) -> Iterator[float]:
+        """All rekey points in ``(start, horizon]``."""
+        t = self.start + self.period
+        while t <= horizon + 1e-9:
+            yield t
+            t += self.period

@@ -1,0 +1,54 @@
+"""A minimal discrete-event loop.
+
+Events are ``(time, sequence, action)`` triples in a binary heap; the
+sequence number makes ordering deterministic among simultaneous events
+(insertion order), which keeps seeded runs exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+Action = Callable[[], None]
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, time: float, action: Action) -> None:
+        """Schedule ``action`` at absolute ``time`` (must not be in the past)."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule at {time} before now={self.now}")
+        heapq.heappush(self._heap, (time, next(self._seq), action))
+
+    def schedule_in(self, delay: float, action: Action) -> None:
+        """Schedule ``action`` ``delay`` seconds from the current time."""
+        self.schedule(self.now + delay, action)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or None when the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def run_until(self, horizon: float) -> int:
+        """Process events up to and including ``horizon``; returns the count."""
+        processed = 0
+        while self._heap and self._heap[0][0] <= horizon + 1e-12:
+            time, __, action = heapq.heappop(self._heap)
+            self.now = max(self.now, time)
+            action()
+            processed += 1
+        self.now = max(self.now, horizon)
+        self.processed += processed
+        return processed

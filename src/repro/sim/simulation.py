@@ -1,0 +1,262 @@
+"""The end-to-end group-rekeying simulation.
+
+Wires together: an arrival process and duration model (the workload), a
+key server (any scheme from :mod:`repro.server`), real :class:`Member`
+state machines, an optional reliable rekey transport over a lossy
+multicast channel, and per-rekey verification of the security invariants.
+
+Time is seconds; rekeying is periodic (``Tp``); joins/leaves between rekey
+points accumulate into the next batch exactly as in Section 2.1.1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.members.durations import TwoClassDuration
+from repro.members.member import Member
+from repro.members.population import LossPopulation
+from repro.network.channel import MulticastChannel
+from repro.network.loss import BernoulliLoss
+from repro.server.base import BatchResult, GroupKeyServer
+from repro.sim.engine import EventLoop
+from repro.sim.metrics import RekeyRecord, SimulationMetrics
+from repro.transport.session import TransportTask
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of one simulation run.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Mean joins per second (Poisson arrivals).
+    rekey_period:
+        ``Tp`` — seconds between batch rekey points.
+    horizon:
+        Simulated seconds.
+    duration_model:
+        Anything with ``sample_with_class(rng)``.
+    loss_population:
+        Per-member loss-rate assignment; required when a transport is
+        attached, used as the reported ``loss_rate`` join attribute for
+        loss-homogenized servers.
+    transport:
+        A transport protocol instance (``run(task, channel)``), or None to
+        count server cost only.
+    verify:
+        Check security invariants after every rekeying (slows large runs).
+    departed_sample:
+        How many recently departed members to retain for forward-secrecy
+        checks.
+    seed:
+        Workload RNG seed (the channel RNG derives from it).
+    """
+
+    arrival_rate: float = 1.0
+    rekey_period: float = 60.0
+    horizon: float = 3600.0
+    duration_model: TwoClassDuration = field(default_factory=TwoClassDuration)
+    loss_population: Optional[LossPopulation] = None
+    transport: Optional[object] = None
+    verify: bool = True
+    departed_sample: int = 32
+    seed: int = 0
+
+
+class GroupRekeyingSimulation:
+    """Drive a key server through a full simulated session.
+
+    Parameters
+    ----------
+    server:
+        The scheme under test.
+    config:
+        Workload and infrastructure knobs.
+    join_attributes:
+        Optional hook ``(member_id, member_class, loss_rate) -> dict``
+        giving the extra keyword arguments for ``server.join`` (PT servers
+        need ``member_class``; loss-homogenized servers need
+        ``loss_rate``).  The default passes whatever the server's scheme
+        requires based on its class.
+    """
+
+    def __init__(
+        self,
+        server: GroupKeyServer,
+        config: Optional[SimulationConfig] = None,
+        join_attributes: Optional[Callable[[str, str, float], Dict]] = None,
+    ) -> None:
+        self.server = server
+        self.config = config if config is not None else SimulationConfig()
+        self._join_attributes = join_attributes
+        self.loop = EventLoop()
+        self.rng = random.Random(self.config.seed)
+        self.channel: MulticastChannel = MulticastChannel(seed=self.config.seed + 1)
+        self.members: Dict[str, Member] = {}
+        self.member_class: Dict[str, str] = {}
+        self.member_loss: Dict[str, float] = {}
+        self.departed: List[Member] = []
+        self.metrics = SimulationMetrics()
+        self._next_member = 0
+
+    # ------------------------------------------------------------------
+    # workload events
+    # ------------------------------------------------------------------
+
+    def _default_join_attributes(self, member_class: str, loss_rate: float) -> Dict:
+        from repro.server.losshomog import LossHomogenizedServer
+        from repro.server.twopartition import TwoPartitionServer
+
+        attributes: Dict = {}
+        if isinstance(self.server, TwoPartitionServer) and self.server.mode == "pt":
+            attributes["member_class"] = member_class
+        if isinstance(self.server, LossHomogenizedServer):
+            if self.server.placement == "loss":
+                attributes["loss_rate"] = loss_rate
+        return attributes
+
+    def _arrive(self) -> None:
+        now = self.loop.now
+        member_id = f"m{self._next_member}"
+        self._next_member += 1
+        duration, member_class = self.config.duration_model.sample_with_class(self.rng)
+        loss_rate = 0.0
+        if self.config.loss_population is not None:
+            loss_rate = self.config.loss_population.assign(self.rng).loss_rate
+        if self._join_attributes is not None:
+            attributes = self._join_attributes(member_id, member_class, loss_rate)
+        else:
+            attributes = self._default_join_attributes(member_class, loss_rate)
+
+        registration = self.server.join(member_id, at_time=now, **attributes)
+        member = Member(member_id, registration.individual_key)
+        self.members[member_id] = member
+        self.member_class[member_id] = member_class
+        self.member_loss[member_id] = loss_rate
+        self.channel.subscribe(member_id, BernoulliLoss(loss_rate))
+        self.loop.schedule(now + duration, lambda: self._depart(member_id))
+        self.loop.schedule_in(
+            self.rng.expovariate(self.config.arrival_rate), self._arrive
+        )
+
+    def _depart(self, member_id: str) -> None:
+        member = self.members.pop(member_id, None)
+        if member is None:
+            return
+        self.server.leave(member_id, at_time=self.loop.now)
+        self.channel.unsubscribe(member_id)
+        self.member_class.pop(member_id, None)
+        self.member_loss.pop(member_id, None)
+        self.departed.append(member)
+        if len(self.departed) > self.config.departed_sample:
+            self.departed.pop(0)
+
+    # ------------------------------------------------------------------
+    # rekeying
+    # ------------------------------------------------------------------
+
+    def _rekey(self) -> None:
+        now = self.loop.now
+        result = self.server.rekey(now=now)
+        transport_keys = transport_packets = transport_rounds = 0
+        if result.advanced:
+            # ELK/LKH+ one-way advances: every member computes locally.
+            for member in self.members.values():
+                member.apply_advances(result.advanced)
+        if result.encrypted_keys:
+            if self.config.transport is not None:
+                task = self._build_task(result)
+                outcome = self.config.transport.run(task, self.channel)
+                if not outcome.satisfied:
+                    raise RuntimeError(
+                        f"transport failed to satisfy all receivers at t={now}"
+                    )
+                transport_keys = outcome.keys_sent
+                transport_packets = outcome.packets_sent
+                transport_rounds = outcome.rounds
+            # Members absorb the payload (delivery is reliable by the time
+            # the transport finishes, or assumed reliable without one).
+            for member in self.members.values():
+                member.absorb(result.encrypted_keys)
+        if self.config.verify:
+            self._verify(result)
+        self.metrics.add(
+            RekeyRecord(
+                time=now,
+                epoch=result.epoch,
+                cost=result.cost,
+                joined=len(result.joined),
+                departed=len(result.departed),
+                migrated=len(result.migrated),
+                group_size=self.server.size,
+                breakdown=dict(result.breakdown),
+                transport_keys=transport_keys,
+                transport_packets=transport_packets,
+                transport_rounds=transport_rounds,
+            )
+        )
+        self.loop.schedule(now + self.config.rekey_period, self._rekey)
+
+    def _build_task(self, result: BatchResult) -> TransportTask:
+        """Per-receiver interest for the batch payload (sparseness property)."""
+        interest: Dict[str, Set[int]] = {}
+        for member_id, member in self.members.items():
+            versions = member.held_versions()
+            wanted: Set[int] = set()
+            progress = True
+            while progress:
+                progress = False
+                for index, ek in enumerate(result.encrypted_keys):
+                    if index in wanted:
+                        continue
+                    if versions.get(ek.wrapping_id) == ek.wrapping_version and (
+                        versions.get(ek.payload_id, -1) < ek.payload_version
+                    ):
+                        wanted.add(index)
+                        versions[ek.payload_id] = ek.payload_version
+                        progress = True
+            if wanted:
+                interest[member_id] = wanted
+        return TransportTask(keys=list(result.encrypted_keys), interest=interest)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+
+    def _verify(self, result: BatchResult) -> None:
+        """Security invariants after a rekeying.
+
+        * every admitted member holds the current group key (exact id and
+          version);
+        * no recently departed member holds it.
+        """
+        dek = self.server.group_key()
+        for member_id, member in self.members.items():
+            if not member.holds(dek.key_id, dek.version):
+                raise AssertionError(
+                    f"member {member_id} missing group key "
+                    f"{dek.key_id}#{dek.version} at t={self.loop.now}"
+                )
+        for member in self.departed:
+            if member.holds(dek.key_id, dek.version):
+                raise AssertionError(
+                    f"departed member {member.member_id} holds current group key"
+                )
+        self.metrics.verification_checks += 1
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationMetrics:
+        """Run the configured horizon; returns the collected metrics."""
+        self.loop.schedule_in(
+            self.rng.expovariate(self.config.arrival_rate), self._arrive
+        )
+        self.loop.schedule(self.config.rekey_period, self._rekey)
+        self.loop.run_until(self.config.horizon)
+        return self.metrics

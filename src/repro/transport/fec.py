@@ -1,0 +1,169 @@
+"""Proactive-FEC rekey transport in the spirit of Yang et al. [YLZL01].
+
+Payload packets are grouped into FEC blocks of ``block_size`` packets; the
+first round multicasts each block's payload along with
+``ceil((proactivity - 1) * block_size)`` parity packets.  With an ideal
+erasure code, a receiver reconstructs a whole block from **any** ``k`` of
+the packets sent for it — so a receiver is satisfied for a block once it
+has either directly received every payload packet it is interested in, or
+accumulated ``k`` packets of the block in total.
+
+After each round, receivers NACK their remaining deficit per block and the
+server multicasts ``max`` deficit fresh parity packets for that block —
+this is the mechanism that makes FEC transports sensitive to a high-loss
+minority: the worst receiver sizes every block's retransmission, which is
+exactly what the loss-homogenized key-tree organization (Section 4)
+relieves.
+
+Parity packets are priced at full packet size (``keys_per_packet`` key
+units) in ``keys_sent``, matching the analytic model's accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.network.channel import MulticastChannel
+from repro.transport.packets import KeyPacket, pack_indices
+from repro.transport.session import TransportResult, TransportTask
+
+
+@dataclass
+class _BlockState:
+    """Per-receiver progress on one FEC block."""
+
+    payload_packets: List[KeyPacket]
+    parity_sent: int = 0
+    # receiver -> number of packets of this block received so far
+    received_count: Dict[str, int] = field(default_factory=dict)
+    # receiver -> payload key indices of this block still not directly seen
+    direct_missing: Dict[str, Set[int]] = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        return len(self.payload_packets)
+
+    def satisfied(self, receiver_id: str) -> bool:
+        missing = self.direct_missing.get(receiver_id)
+        if missing is not None and not missing:
+            return True
+        return self.received_count.get(receiver_id, 0) >= self.k
+
+    def pending_receivers(self) -> List[str]:
+        return [rid for rid in self.direct_missing if not self.satisfied(rid)]
+
+
+class ProactiveFecProtocol:
+    """Block FEC with proactive parity and max-deficit NACK rounds."""
+
+    name = "proactive-fec"
+
+    def __init__(
+        self,
+        keys_per_packet: int = 25,
+        block_size: int = 16,
+        proactivity: float = 1.25,
+        max_rounds: int = 50,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        if proactivity < 1.0:
+            raise ValueError("proactivity factor must be >= 1")
+        self.keys_per_packet = keys_per_packet
+        self.block_size = block_size
+        self.proactivity = proactivity
+        self.max_rounds = max_rounds
+
+    def run(self, task: TransportTask, channel: MulticastChannel) -> TransportResult:
+        """Deliver ``task`` over ``channel``; returns the cost accounting."""
+        result = TransportResult()
+        payload = pack_indices(range(len(task.keys)), self.keys_per_packet)
+        blocks: List[_BlockState] = []
+        for offset in range(0, len(payload), self.block_size):
+            block_id = len(blocks)
+            block_packets = [
+                KeyPacket(p.seqno, p.key_indices, block=block_id)
+                for p in payload[offset : offset + self.block_size]
+            ]
+            blocks.append(_BlockState(payload_packets=block_packets))
+
+        # Register interest: a receiver tracks each block containing any of
+        # its keys, with the payload packets it would need directly.
+        for rid, wanted in task.interest.items():
+            if not wanted:
+                continue
+            for block in blocks:
+                in_block = {
+                    i
+                    for p in block.payload_packets
+                    for i in p.key_indices
+                    if i in wanted
+                }
+                if in_block:
+                    block.direct_missing[rid] = in_block
+                    block.received_count[rid] = 0
+
+        interested_blocks = [b for b in blocks if b.direct_missing]
+        if not interested_blocks:
+            result.satisfied = True
+            return result
+
+        seqno = len(payload)
+        for round_index in range(self.max_rounds):
+            # Receivers that left the channel (departed the group) stop
+            # counting toward any block's deficit.
+            for block in blocks:
+                for rid in [r for r in block.direct_missing if r not in channel]:
+                    del block.direct_missing[rid]
+                    block.received_count.pop(rid, None)
+            packets_this_round = 0
+            keys_this_round = 0
+            parity_this_round = 0
+            for block_id, block in enumerate(blocks):
+                pending = block.pending_receivers()
+                if round_index > 0 and not pending:
+                    continue
+                if round_index == 0:
+                    sends: List[KeyPacket] = list(block.payload_packets)
+                    parity_count = (
+                        math.ceil((self.proactivity - 1.0) * block.k)
+                        if block.direct_missing
+                        else 0
+                    )
+                else:
+                    sends = []
+                    parity_count = max(
+                        block.k - block.received_count.get(rid, 0) for rid in pending
+                    )
+                for __ in range(parity_count):
+                    sends.append(
+                        KeyPacket(
+                            seqno=seqno, key_indices=(), block=block_id, is_parity=True
+                        )
+                    )
+                    seqno += 1
+                audience = set(block.direct_missing)
+                for packet in sends:
+                    packets_this_round += 1
+                    keys_this_round += (
+                        self.keys_per_packet if packet.is_parity else packet.key_count
+                    )
+                    if packet.is_parity:
+                        parity_this_round += 1
+                    report = channel.multicast(packet, audience=audience)
+                    for rid in report.delivered_to:
+                        block.received_count[rid] = block.received_count.get(rid, 0) + 1
+                        if not packet.is_parity:
+                            block.direct_missing[rid] -= set(packet.key_indices)
+            result.merge_round(
+                packets=packets_this_round,
+                keys=keys_this_round,
+                parity=parity_this_round,
+            )
+            if all(not b.pending_receivers() for b in blocks):
+                result.satisfied = True
+                return result
+        result.satisfied = all(not b.pending_receivers() for b in blocks)
+        return result

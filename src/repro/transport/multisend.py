@@ -1,0 +1,93 @@
+"""The multi-send strawman protocol ([MSEC], Section 2.2).
+
+Every packet of the rekey payload is multicast ``replication`` times up
+front; NACK rounds then retransmit whole packets until every receiver has
+every key it needs.  No per-key weighting, no re-packing — this is the
+baseline WKA-BKR improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.network.channel import MulticastChannel
+from repro.transport.packets import KeyPacket, pack_indices
+from repro.transport.session import TransportResult, TransportTask
+
+
+class MultiSendProtocol:
+    """Fixed-degree replication with whole-packet retransmission.
+
+    Parameters
+    ----------
+    keys_per_packet:
+        Packet capacity in encrypted keys.
+    replication:
+        How many copies of each packet the first round sends.
+    max_rounds:
+        Safety bound on NACK rounds.
+    """
+
+    name = "multi-send"
+
+    def __init__(
+        self,
+        keys_per_packet: int = 25,
+        replication: int = 2,
+        max_rounds: int = 50,
+    ) -> None:
+        if replication < 1:
+            raise ValueError("replication must be at least 1")
+        self.keys_per_packet = keys_per_packet
+        self.replication = replication
+        self.max_rounds = max_rounds
+
+    def run(self, task: TransportTask, channel: MulticastChannel) -> TransportResult:
+        """Deliver ``task`` over ``channel``; returns the cost accounting."""
+        result = TransportResult()
+        packets = pack_indices(range(len(task.keys)), self.keys_per_packet)
+        outstanding: Dict[str, Set[int]] = {
+            rid: set(wanted) for rid, wanted in task.interest.items() if wanted
+        }
+        packet_of_key = {}
+        for packet in packets:
+            for index in packet.key_indices:
+                packet_of_key[index] = packet
+
+        # Round 1: every packet, replicated.
+        to_send: List[KeyPacket] = [p for p in packets for __ in range(self.replication)]
+        for round_index in range(self.max_rounds):
+            # Drop receivers that left the channel (departed the group).
+            outstanding = {
+                rid: wanted for rid, wanted in outstanding.items() if rid in channel
+            }
+            if round_index > 0 and not outstanding:
+                break
+            keys_this_round = 0
+            for packet in to_send:
+                audience = {
+                    rid
+                    for rid, wanted in outstanding.items()
+                    if wanted.intersection(packet.key_indices)
+                }
+                keys_this_round += packet.key_count
+                if not audience:
+                    continue
+                report = channel.multicast(packet, audience=audience)
+                for rid in report.delivered_to:
+                    outstanding[rid] -= set(packet.key_indices)
+                    if not outstanding[rid]:
+                        del outstanding[rid]
+            result.merge_round(packets=len(to_send), keys=keys_this_round)
+            if not outstanding:
+                result.satisfied = True
+                return result
+            # NACK round: retransmit exactly the packets still needed.
+            needed_packets = {
+                packet_of_key[index].seqno
+                for wanted in outstanding.values()
+                for index in wanted
+            }
+            to_send = [p for p in packets if p.seqno in needed_packets]
+        result.satisfied = not outstanding
+        return result

@@ -1,0 +1,99 @@
+"""Transport tasks and results shared by all rekey transport protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.crypto.wrap import EncryptedKey
+from repro.keytree.lkh import RekeyMessage
+
+
+@dataclass
+class TransportTask:
+    """One rekey delivery job.
+
+    Attributes
+    ----------
+    keys:
+        The encrypted keys of the rekey message, indexed by position.
+    interest:
+        ``receiver_id -> set of key indices`` that receiver must obtain.
+        Receivers with empty interest are ignored (they need nothing this
+        round — e.g. L-partition members during a pure S-partition rekey
+        already covered by one group-key encryption they received).
+    """
+
+    keys: List[EncryptedKey]
+    interest: Dict[str, Set[int]]
+
+    def receivers_needing(self, index: int) -> Set[str]:
+        """Audience of one key: receivers whose interest includes it."""
+        return {rid for rid, wanted in self.interest.items() if index in wanted}
+
+    def audiences(self) -> Dict[int, Set[str]]:
+        """index -> audience, for every key with a non-empty audience."""
+        result: Dict[int, Set[str]] = {}
+        for rid, wanted in self.interest.items():
+            for index in wanted:
+                result.setdefault(index, set()).add(rid)
+        return result
+
+
+@dataclass
+class TransportResult:
+    """Outcome and cost of delivering one rekey payload."""
+
+    rounds: int = 0
+    packets_sent: int = 0
+    keys_sent: int = 0
+    parity_packets: int = 0
+    satisfied: bool = False
+    per_round_packets: List[int] = field(default_factory=list)
+
+    def merge_round(self, packets: int, keys: int, parity: int = 0) -> None:
+        self.rounds += 1
+        self.packets_sent += packets
+        self.keys_sent += keys
+        self.parity_packets += parity
+        self.per_round_packets.append(packets)
+
+
+def build_task(
+    message: RekeyMessage,
+    held_versions: Dict[str, Dict[str, int]],
+) -> TransportTask:
+    """Derive per-receiver interest for a rekey message.
+
+    Parameters
+    ----------
+    message:
+        The rekey broadcast produced by the server.
+    held_versions:
+        ``receiver_id -> {key_id: version}`` — what each receiver holds
+        *before* this message (the server knows this; real receivers
+        equivalently derive their own interest from key ids in packet
+        headers).
+
+    Interest is the fixed-point closure: a key is interesting if its wrap
+    can be opened with a held key or with another interesting key from the
+    same message (rekey messages chain fresh parents onto fresh children).
+    """
+    interest: Dict[str, Set[int]] = {}
+    for receiver_id, versions in held_versions.items():
+        reachable = dict(versions)
+        wanted: Set[int] = set()
+        progress = True
+        while progress:
+            progress = False
+            for index, ek in enumerate(message.encrypted_keys):
+                if index in wanted:
+                    continue
+                if reachable.get(ek.wrapping_id) == ek.wrapping_version and (
+                    reachable.get(ek.payload_id, -1) < ek.payload_version
+                ):
+                    wanted.add(index)
+                    reachable[ek.payload_id] = ek.payload_version
+                    progress = True
+        interest[receiver_id] = wanted
+    return TransportTask(keys=list(message.encrypted_keys), interest=interest)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.crypto.material import KeyGenerator
+from repro.keytree.lkh import LkhRekeyer
+from repro.keytree.tree import KeyTree
+
+
+@pytest.fixture
+def keygen():
+    """A deterministic key generator (fresh per test)."""
+    return KeyGenerator(seed=1234)
+
+
+@pytest.fixture
+def tree(keygen):
+    """An empty degree-4 key tree."""
+    return KeyTree(degree=4, keygen=keygen, name="t")
+
+
+@pytest.fixture
+def rekeyer(tree):
+    """A rekeyer bound to the ``tree`` fixture."""
+    return LkhRekeyer(tree)

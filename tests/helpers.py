@@ -1,0 +1,8 @@
+"""Shared helpers for the test suite."""
+
+
+def populate(rekeyer, count, prefix="m"):
+    """Admit ``count`` members through one batch; returns their ids."""
+    members = [f"{prefix}{i}" for i in range(count)]
+    rekeyer.rekey_batch(joins=[(m, None) for m in members])
+    return members

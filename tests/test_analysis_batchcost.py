@@ -1,0 +1,80 @@
+"""Unit tests for the Appendix A batch-cost model ``Ne(N, L)``."""
+
+import pytest
+
+from repro.analysis.batchcost import (
+    expected_batch_cost,
+    expected_batch_cost_full,
+    per_departure_cost,
+)
+
+
+class TestClosedFormAgreement:
+    @pytest.mark.parametrize("n,d", [(16, 4), (64, 4), (4096, 4), (256, 2), (81, 3)])
+    def test_exact_recursion_matches_closed_form_at_powers(self, n, d):
+        for departures in (1, 4, n // 8 or 1, n // 2):
+            exact = expected_batch_cost(n, departures, d)
+            closed = expected_batch_cost_full(n, departures, d)
+            assert exact == pytest.approx(closed, rel=1e-9)
+
+    def test_closed_form_overestimates_partial_trees(self):
+        # N=100 is padded to 256 leaf slots by the closed form.
+        assert expected_batch_cost_full(100, 10, 4) > expected_batch_cost(100, 10, 4)
+
+
+class TestLimits:
+    def test_zero_departures_is_free(self):
+        assert expected_batch_cost(1000, 0, 4) == 0.0
+
+    def test_tiny_groups_are_free(self):
+        assert expected_batch_cost(0, 5, 4) == 0.0
+        assert expected_batch_cost(1, 5, 4) == 0.0
+
+    def test_all_depart_updates_every_node(self):
+        """L = N: every internal node is updated, cost = total child count
+        = internal edges of the tree."""
+        cost = expected_batch_cost(64, 64, 4)
+        # Full 4-ary tree of 64 leaves: 4 + 16 + 64 = 84 edges.
+        assert cost == pytest.approx(84.0)
+
+    def test_departures_clamped_to_group(self):
+        assert expected_batch_cost(64, 1000, 4) == expected_batch_cost(64, 64, 4)
+
+    def test_single_departure_costs_d_times_height(self):
+        # One departure updates exactly the path: h keys, d wraps each.
+        assert expected_batch_cost(64, 1, 4) == pytest.approx(4 * 3)
+
+    def test_monotone_in_departures(self):
+        costs = [expected_batch_cost(4096, l, 4) for l in range(0, 512, 32)]
+        assert costs == sorted(costs)
+
+    def test_sublinear_batching_effect(self):
+        """Doubling L must less-than-double the cost (shared paths) once
+        batches are large enough to overlap."""
+        c1 = expected_batch_cost(65_536, 512, 4)
+        c2 = expected_batch_cost(65_536, 1024, 4)
+        assert c2 < 2 * c1
+
+    def test_fractional_departures_interpolate(self):
+        low = expected_batch_cost(1024, 10, 4)
+        mid = expected_batch_cost(1024, 10.5, 4)
+        high = expected_batch_cost(1024, 11, 4)
+        assert low < mid < high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_batch_cost(100, 1, 1)
+        with pytest.raises(ValueError):
+            expected_batch_cost(-5, 1, 4)
+        with pytest.raises(ValueError):
+            expected_batch_cost_full(100, -1, 4)
+
+
+class TestPerDepartureCost:
+    def test_matches_paper_rule(self):
+        # d * ceil(log_d N) — Section 3.1's motivation quantity.
+        assert per_departure_cost(65_536, 4) == 4 * 8
+        assert per_departure_cost(9, 3) == 3 * 2
+
+    def test_trivial_group(self):
+        assert per_departure_cost(1, 4) == 0.0

@@ -1,0 +1,65 @@
+"""Unit tests for combinatorial primitives."""
+
+import math
+
+import pytest
+
+from repro.analysis.combinatorics import log_choose, subtree_hit_probability
+
+
+class TestLogChoose:
+    @pytest.mark.parametrize("n,k", [(5, 2), (10, 0), (10, 10), (52, 5), (200, 100)])
+    def test_matches_math_comb(self, n, k):
+        assert log_choose(n, k) == pytest.approx(math.log(math.comb(n, k)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            log_choose(5, 6)
+        with pytest.raises(ValueError):
+            log_choose(5, -1)
+
+    def test_real_valued_interpolates(self):
+        low = log_choose(10, 3)
+        mid = log_choose(10, 3.5)
+        high = log_choose(10, 4)
+        assert low < mid < high
+
+    def test_large_arguments_stable(self):
+        value = log_choose(262_144, 1024)
+        assert math.isfinite(value)
+        assert value > 0
+
+
+class TestSubtreeHitProbability:
+    def test_zero_departures(self):
+        assert subtree_hit_probability(100, 0, 10) == 0.0
+
+    def test_zero_subtree(self):
+        assert subtree_hit_probability(100, 5, 0) == 0.0
+
+    def test_saturates_when_departures_exceed_outside(self):
+        assert subtree_hit_probability(100, 95, 10) == 1.0
+
+    def test_single_leaf_subtree_is_l_over_n(self):
+        # P[one specific leaf departs] = L/N.
+        assert subtree_hit_probability(100, 10, 1) == pytest.approx(0.1)
+
+    def test_whole_tree_always_hit(self):
+        assert subtree_hit_probability(100, 1, 100) == pytest.approx(1.0)
+
+    def test_matches_exact_hypergeometric(self):
+        n, l, s = 50, 7, 12
+        expected = 1 - math.comb(n - s, l) / math.comb(n, l)
+        assert subtree_hit_probability(n, l, s) == pytest.approx(expected)
+
+    def test_monotone_in_departures(self):
+        probs = [subtree_hit_probability(1000, l, 16) for l in range(0, 200, 10)]
+        assert probs == sorted(probs)
+
+    def test_monotone_in_subtree_size(self):
+        probs = [subtree_hit_probability(1000, 32, s) for s in range(1, 500, 25)]
+        assert probs == sorted(probs)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            subtree_hit_probability(-1, 1, 1)

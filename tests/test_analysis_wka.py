@@ -1,0 +1,98 @@
+"""Unit tests for the Appendix B WKA-BKR bandwidth model."""
+
+import pytest
+
+from repro.analysis.batchcost import expected_batch_cost, expected_batch_cost_full
+from repro.analysis.wka import (
+    expected_transmissions,
+    wka_rekey_cost,
+    wka_rekey_cost_full,
+)
+
+
+class TestExpectedTransmissions:
+    def test_single_receiver_geometric_mean(self):
+        """R = 1: E[M] = 1 / (1 - p) (the paper's E[Mr])."""
+        for p in (0.0, 0.1, 0.3, 0.5):
+            assert expected_transmissions(1, ((p, 1.0),)) == pytest.approx(
+                1 / (1 - p), rel=1e-9
+            )
+
+    def test_zero_loss_single_transmission(self):
+        assert expected_transmissions(1000, ((0.0, 1.0),)) == pytest.approx(1.0)
+
+    def test_no_receivers_no_transmissions(self):
+        assert expected_transmissions(0, ((0.1, 1.0),)) == 0.0
+
+    def test_grows_with_audience(self):
+        values = [
+            expected_transmissions(r, ((0.2, 1.0),)) for r in (1, 4, 16, 64, 256)
+        ]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_grows_with_loss(self):
+        values = [
+            expected_transmissions(64, ((p, 1.0),)) for p in (0.01, 0.05, 0.2, 0.5)
+        ]
+        assert values == sorted(values)
+
+    def test_matches_direct_series(self):
+        """Cross-check eq. (14) against a brute-force partial sum."""
+        p, r = 0.2, 8
+        brute = sum(1 - (1 - p ** (m - 1)) ** r for m in range(1, 200))
+        assert expected_transmissions(r, ((p, 1.0),)) == pytest.approx(brute)
+
+    def test_mixture_between_pure_extremes(self):
+        pure_low = expected_transmissions(100, ((0.02, 1.0),))
+        pure_high = expected_transmissions(100, ((0.2, 1.0),))
+        mixed = expected_transmissions(100, ((0.2, 0.5), (0.02, 0.5)))
+        assert pure_low < mixed < pure_high
+
+    def test_mixture_validation(self):
+        with pytest.raises(ValueError):
+            expected_transmissions(10, ((0.2, 0.5), (0.02, 0.4)))
+        with pytest.raises(ValueError):
+            expected_transmissions(10, ((1.0, 1.0),))
+
+
+class TestRekeyCost:
+    def test_zero_loss_reduces_to_batch_cost(self):
+        """With p = 0 every key is sent once: E[V] = Ne(N, L)."""
+        mixture = ((0.0, 1.0),)
+        assert wka_rekey_cost(4096, 64, mixture, 4) == pytest.approx(
+            expected_batch_cost(4096, 64, 4)
+        )
+        assert wka_rekey_cost_full(4096, 64, mixture, 4) == pytest.approx(
+            expected_batch_cost_full(4096, 64, 4)
+        )
+
+    def test_full_and_exact_agree_at_powers(self):
+        mixture = ((0.2, 0.3), (0.02, 0.7))
+        assert wka_rekey_cost(4096, 64, mixture, 4) == pytest.approx(
+            wka_rekey_cost_full(4096, 64, mixture, 4), rel=1e-9
+        )
+
+    def test_cost_exceeds_keys_under_loss(self):
+        mixture = ((0.15, 1.0),)
+        assert wka_rekey_cost(4096, 64, mixture, 4) > expected_batch_cost(4096, 64, 4)
+
+    def test_monotone_in_loss(self):
+        costs = [
+            wka_rekey_cost(65_536, 256, ((p, 1.0),), 4)
+            for p in (0.0, 0.02, 0.1, 0.2, 0.4)
+        ]
+        assert costs == sorted(costs)
+
+    def test_trivial_inputs_free(self):
+        assert wka_rekey_cost(0, 10, ((0.1, 1.0),)) == 0.0
+        assert wka_rekey_cost(100, 0, ((0.1, 1.0),)) == 0.0
+        assert wka_rekey_cost_full(1, 10, ((0.1, 1.0),)) == 0.0
+
+    def test_paper_fig6_endpoints(self):
+        """At the Fig. 6 defaults the all-low and all-high costs bracket
+        the paper's y-range (~5000 and ~9200 keys)."""
+        low = wka_rekey_cost(65_536, 256, ((0.02, 1.0),), 4)
+        high = wka_rekey_cost(65_536, 256, ((0.2, 1.0),), 4)
+        assert 4500 < low < 6000
+        assert 8500 < high < 10_500

@@ -1,0 +1,76 @@
+"""Unit tests for the authenticated keystream cipher."""
+
+import pytest
+
+from repro.crypto.cipher import AuthenticationError, decrypt, encrypt
+
+KEY = bytes(range(32))
+KEY2 = bytes(range(1, 33))
+NONCE = b"nonce-1"
+
+
+class TestRoundtrip:
+    def test_roundtrip_short(self):
+        blob = encrypt(KEY, NONCE, b"hello")
+        assert decrypt(KEY, NONCE, blob) == b"hello"
+
+    def test_roundtrip_empty(self):
+        blob = encrypt(KEY, NONCE, b"")
+        assert decrypt(KEY, NONCE, blob) == b""
+
+    def test_roundtrip_long(self):
+        payload = bytes(i % 256 for i in range(10_000))
+        blob = encrypt(KEY, NONCE, payload)
+        assert decrypt(KEY, NONCE, blob) == payload
+
+    def test_ciphertext_differs_from_plaintext(self):
+        payload = b"secret material"
+        blob = encrypt(KEY, NONCE, payload)
+        assert payload not in blob
+
+    def test_deterministic_given_key_and_nonce(self):
+        assert encrypt(KEY, NONCE, b"x") == encrypt(KEY, NONCE, b"x")
+
+    def test_nonce_changes_ciphertext(self):
+        assert encrypt(KEY, b"n1", b"x") != encrypt(KEY, b"n2", b"x")
+
+    def test_key_changes_ciphertext(self):
+        assert encrypt(KEY, NONCE, b"x") != encrypt(KEY2, NONCE, b"x")
+
+
+class TestAuthentication:
+    def test_wrong_key_rejected(self):
+        blob = encrypt(KEY, NONCE, b"payload")
+        with pytest.raises(AuthenticationError):
+            decrypt(KEY2, NONCE, blob)
+
+    def test_wrong_nonce_rejected(self):
+        blob = encrypt(KEY, NONCE, b"payload")
+        with pytest.raises(AuthenticationError):
+            decrypt(KEY, b"other", blob)
+
+    def test_flipped_ciphertext_bit_rejected(self):
+        blob = bytearray(encrypt(KEY, NONCE, b"payload"))
+        blob[0] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            decrypt(KEY, NONCE, bytes(blob))
+
+    def test_flipped_tag_bit_rejected(self):
+        blob = bytearray(encrypt(KEY, NONCE, b"payload"))
+        blob[-1] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            decrypt(KEY, NONCE, bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(AuthenticationError):
+            decrypt(KEY, NONCE, b"short")
+
+
+class TestValidation:
+    def test_encrypt_rejects_short_key(self):
+        with pytest.raises(ValueError):
+            encrypt(b"tiny", NONCE, b"x")
+
+    def test_decrypt_rejects_short_key(self):
+        with pytest.raises(ValueError):
+            decrypt(b"tiny", NONCE, b"x" * 32)

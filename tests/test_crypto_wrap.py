@@ -1,0 +1,67 @@
+"""Unit tests for key wrapping."""
+
+import pytest
+
+from repro.crypto.cipher import AuthenticationError
+from repro.crypto.material import KeyGenerator
+from repro.crypto.wrap import EncryptedKey, unwrap_key, wrap_key
+
+
+@pytest.fixture
+def keys():
+    gen = KeyGenerator(9)
+    return gen.generate("wrapping"), gen.generate("payload")
+
+
+class TestWrapUnwrap:
+    def test_roundtrip(self, keys):
+        wrapping, payload = keys
+        recovered = unwrap_key(wrapping, wrap_key(wrapping, payload))
+        assert recovered == payload
+
+    def test_encrypted_key_records_both_identities(self, keys):
+        wrapping, payload = keys
+        ek = wrap_key(wrapping, payload)
+        assert ek.wrapping_handle == wrapping.handle
+        assert ek.payload_handle == payload.handle
+
+    def test_payload_secret_not_in_ciphertext(self, keys):
+        wrapping, payload = keys
+        ek = wrap_key(wrapping, payload)
+        assert payload.secret not in ek.ciphertext
+
+    def test_wrong_wrapping_key_id_raises_value_error(self, keys):
+        wrapping, payload = keys
+        other = KeyGenerator(10).generate("other")
+        ek = wrap_key(wrapping, payload)
+        with pytest.raises(ValueError):
+            unwrap_key(other, ek)
+
+    def test_wrong_wrapping_version_raises_value_error(self, keys):
+        wrapping, payload = keys
+        gen = KeyGenerator(9)
+        newer = gen.rekey(wrapping)
+        ek = wrap_key(wrapping, payload)
+        with pytest.raises(ValueError):
+            unwrap_key(newer, ek)
+
+    def test_same_id_different_secret_fails_authentication(self, keys):
+        wrapping, payload = keys
+        ek = wrap_key(wrapping, payload)
+        impostor = KeyGenerator(99).generate("wrapping")  # same id, version 0
+        with pytest.raises(AuthenticationError):
+            unwrap_key(impostor, ek)
+
+    def test_size_constant_matches_reality(self, keys):
+        wrapping, payload = keys
+        ek = wrap_key(wrapping, payload)
+        assert len(ek.ciphertext) == EncryptedKey.SIZE_BYTES
+
+    def test_distinct_payload_versions_produce_distinct_ciphertexts(self, keys):
+        wrapping, payload = keys
+        gen = KeyGenerator(9)
+        newer = gen.rekey(payload)
+        assert (
+            wrap_key(wrapping, payload).ciphertext
+            != wrap_key(wrapping, newer).ciphertext
+        )

@@ -1,0 +1,62 @@
+"""Tests for the multi-group receiver-bandwidth experiment (§4.4)."""
+
+import pytest
+
+from repro.experiments.receiver_bandwidth import (
+    receiver_bandwidth,
+    receiver_bandwidth_series,
+)
+
+
+class TestReceiverBandwidth:
+    def test_server_cost_is_layout_independent(self):
+        """Both layouts move the same keys out of the server."""
+        result = receiver_bandwidth(alpha=0.3)
+        assert result.server_cost > 0
+        # Per-class heard keys differ, but they derive from one server cost.
+        assert result.shared_group["low"] == pytest.approx(
+            result.server_cost * (1 - 0.02)
+        )
+
+    def test_per_tree_groups_reduce_low_loss_receiver_bandwidth(self):
+        for alpha in (0.1, 0.3, 0.5, 0.8):
+            result = receiver_bandwidth(alpha=alpha)
+            assert result.per_tree_groups["low"] < result.shared_group["low"]
+
+    def test_high_loss_receivers_also_save(self):
+        result = receiver_bandwidth(alpha=0.2)
+        assert result.per_tree_groups["high"] < result.shared_group["high"]
+
+    def test_homogeneous_population_has_single_scope(self):
+        result = receiver_bandwidth(alpha=0.0)
+        assert result.per_tree_groups["low"] == pytest.approx(
+            result.shared_group["low"]
+        )
+        assert "high" not in result.shared_group
+
+    def test_fairness_low_loss_class_sheds_redundant_traffic(self):
+        """Inter-receiver fairness (the paper's phrasing: 'the low loss
+        members will not receive redundant keys that are unnecessary to
+        them'): with per-tree groups a low-loss receiver's heard traffic
+        is exactly its own tree's (plus the DEK wraps) — a large cut from
+        the shared-scope firehose that grows with the high-loss share."""
+        cut_03 = 1 - (
+            receiver_bandwidth(alpha=0.3).per_tree_groups["low"]
+            / receiver_bandwidth(alpha=0.3).shared_group["low"]
+        )
+        cut_07 = 1 - (
+            receiver_bandwidth(alpha=0.7).per_tree_groups["low"]
+            / receiver_bandwidth(alpha=0.7).shared_group["low"]
+        )
+        assert cut_03 > 0.3
+        assert cut_07 > cut_03
+
+    def test_series_shape(self):
+        series = receiver_bandwidth_series(alpha_values=[0.1, 0.5])
+        assert set(series.columns) == {
+            "server-cost",
+            "shared-group",
+            "per-tree-groups",
+            "receiver-saving-%",
+        }
+        assert all(s > 0 for s in series.column("receiver-saving-%"))

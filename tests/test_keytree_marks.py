@@ -1,0 +1,123 @@
+"""Unit tests for the MARKS key-sequence extension [Briscoe99]."""
+
+import math
+
+import pytest
+
+from repro.crypto.material import KeyGenerator
+from repro.keytree.marks import MarksKeySequence, MarksReceiver
+
+
+@pytest.fixture
+def sequence():
+    return MarksKeySequence(depth=6, keygen=KeyGenerator(91))  # 64 slots
+
+
+class TestSequence:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarksKeySequence(depth=0)
+        with pytest.raises(ValueError):
+            MarksKeySequence(depth=41)
+
+    def test_slot_count(self, sequence):
+        assert sequence.slots == 64
+
+    def test_slot_keys_distinct(self, sequence):
+        keys = {sequence.slot_key(t).secret for t in range(64)}
+        assert len(keys) == 64
+
+    def test_slot_keys_deterministic(self):
+        a = MarksKeySequence(depth=5, keygen=KeyGenerator(7))
+        b = MarksKeySequence(depth=5, keygen=KeyGenerator(7))
+        assert all(a.slot_key(t) == b.slot_key(t) for t in range(32))
+
+    def test_slot_bounds(self, sequence):
+        with pytest.raises(ValueError):
+            sequence.slot_key(-1)
+        with pytest.raises(ValueError):
+            sequence.slot_key(64)
+
+
+class TestCover:
+    def test_full_interval_is_root(self, sequence):
+        assert sequence.cover(0, 64) == [(0, 0)]
+
+    def test_single_slot_is_leaf(self, sequence):
+        assert sequence.cover(5, 6) == [(6, 5)]
+
+    def test_aligned_block_is_one_node(self, sequence):
+        assert sequence.cover(16, 32) == [(2, 1)]
+
+    def test_cover_size_bounded_by_2_log_t(self, sequence):
+        for start in range(0, 64, 3):
+            for end in range(start + 1, 65, 5):
+                cover = sequence.cover(start, end)
+                assert len(cover) <= 2 * sequence.depth
+
+    def test_cover_is_exact_partition(self, sequence):
+        cover = sequence.cover(11, 49)
+        slots = []
+        for depth, index in cover:
+            span = 1 << (sequence.depth - depth)
+            slots.extend(range(index * span, index * span + span))
+        assert sorted(slots) == list(range(11, 49))
+
+    def test_cover_validation(self, sequence):
+        with pytest.raises(ValueError):
+            sequence.cover(5, 5)
+        with pytest.raises(ValueError):
+            sequence.cover(-1, 5)
+        with pytest.raises(ValueError):
+            sequence.cover(0, 65)
+
+
+class TestReceiver:
+    def test_receiver_derives_exactly_its_interval(self, sequence):
+        grant = sequence.grant(11, 49)
+        receiver = MarksReceiver(sequence.depth, grant)
+        for slot in range(11, 49):
+            assert receiver.slot_key(slot) == sequence.slot_key(slot)
+        assert receiver.covered_slots() == list(range(11, 49))
+
+    def test_uncovered_slots_inaccessible(self, sequence):
+        receiver = MarksReceiver(sequence.depth, sequence.grant(11, 49))
+        for slot in (0, 10, 49, 63):
+            with pytest.raises(KeyError):
+                receiver.slot_key(slot)
+
+    def test_out_of_range_slot_rejected(self, sequence):
+        receiver = MarksReceiver(sequence.depth, sequence.grant(0, 64))
+        with pytest.raises(KeyError):
+            receiver.slot_key(64)
+
+    def test_malformed_grant_rejected(self, sequence):
+        bad = KeyGenerator(1).generate("member:imposter")
+        with pytest.raises(ValueError):
+            MarksReceiver(sequence.depth, [bad])
+
+    def test_grants_do_not_compose_backwards(self, sequence):
+        """Two receivers pooling disjoint grants only get the union — the
+        one-way derivation never yields a slot outside it."""
+        a = sequence.grant(0, 8)
+        b = sequence.grant(56, 64)
+        pooled = MarksReceiver(sequence.depth, a + b)
+        assert pooled.covered_slots() == list(range(0, 8)) + list(range(56, 64))
+        with pytest.raises(KeyError):
+            pooled.slot_key(30)
+
+
+class TestZeroSideEffect:
+    def test_no_multicast_cost_for_planned_membership(self, sequence):
+        """The defining MARKS property: admitting any number of planned
+        subscribers costs zero multicast keys — each grant is unicast at
+        registration and bounded by 2 log2(T)."""
+        total_multicast = 0
+        grant_sizes = []
+        for i in range(50):
+            start = i % 32
+            end = start + 1 + (i % 30)
+            grant_sizes.append(len(sequence.grant(start, end)))
+        assert total_multicast == 0
+        assert max(grant_sizes) <= 2 * sequence.depth
+        assert max(grant_sizes) <= 2 * math.ceil(math.log2(sequence.slots))

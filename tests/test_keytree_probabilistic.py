@@ -1,0 +1,116 @@
+"""Unit tests for the Huffman (probabilistic) key-tree extension [SMS00]."""
+
+import math
+
+import pytest
+
+from repro.keytree.probabilistic import (
+    HuffmanKeyTree,
+    balanced_expected_departure_cost,
+    entropy_lower_bound,
+)
+
+
+def skewed_weights(count=64, heavy_every=8, heavy_weight=40.0):
+    return {
+        f"m{i}": (heavy_weight if i % heavy_every == 0 else 1.0)
+        for i in range(count)
+    }
+
+
+class TestConstruction:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            HuffmanKeyTree({}, degree=4)
+        with pytest.raises(ValueError):
+            HuffmanKeyTree({"a": 0.0})
+        with pytest.raises(ValueError):
+            HuffmanKeyTree({"a": 1.0}, degree=1)
+
+    def test_single_member_is_root(self):
+        tree = HuffmanKeyTree({"only": 1.0})
+        assert tree.size == 1
+        assert tree.depth_of("only") == 0
+
+    def test_all_members_present(self):
+        weights = skewed_weights(30)
+        tree = HuffmanKeyTree(weights, degree=3)
+        assert tree.size == 30
+        assert all(m in tree for m in weights)
+
+    @pytest.mark.parametrize("degree", [2, 3, 4, 5])
+    def test_internal_nodes_full_with_dummy_padding(self, degree):
+        """d-ary Huffman with padding: all merges except possibly the
+        deepest are full."""
+        tree = HuffmanKeyTree(skewed_weights(37), degree=degree)
+        underfull = [
+            n
+            for n in tree.root.iter_subtree()
+            if not n.is_leaf and len(n.children) < degree
+        ]
+        assert len(underfull) <= 1
+
+    def test_heavy_members_sit_higher(self):
+        weights = skewed_weights(64, heavy_every=8, heavy_weight=100.0)
+        tree = HuffmanKeyTree(weights, degree=4)
+        heavy_depths = [tree.depth_of(f"m{i}") for i in range(0, 64, 8)]
+        light_depths = [tree.depth_of(f"m{i}") for i in range(64) if i % 8]
+        assert max(heavy_depths) <= min(light_depths)
+
+    def test_uniform_weights_give_balanced_depths(self):
+        tree = HuffmanKeyTree({f"m{i}": 1.0 for i in range(64)}, degree=4)
+        depths = {tree.depth_of(f"m{i}") for i in range(64)}
+        assert depths == {3}  # perfect 4-ary tree of 64 leaves
+
+    def test_rebuild_reshapes(self):
+        tree = HuffmanKeyTree({f"m{i}": 1.0 for i in range(16)}, degree=4)
+        before = tree.depth_of("m0")
+        tree.rebuild({f"m{i}": (100.0 if i == 0 else 1.0) for i in range(16)})
+        assert tree.depth_of("m0") <= before
+
+
+class TestCosts:
+    def test_departure_cost_unknown_member(self):
+        tree = HuffmanKeyTree({"a": 1.0, "b": 1.0})
+        with pytest.raises(KeyError):
+            tree.departure_cost("ghost")
+
+    def test_departure_cost_scales_with_depth(self):
+        weights = skewed_weights(64, heavy_weight=200.0)
+        tree = HuffmanKeyTree(weights, degree=4)
+        assert tree.departure_cost("m0") < tree.departure_cost("m1")
+
+    def test_beats_balanced_tree_on_skewed_weights(self):
+        """The [SMS00] claim the paper cites: unbalancing by revocation
+        probability beats the balanced tree when departures are skewed."""
+        weights = skewed_weights(256, heavy_every=10, heavy_weight=50.0)
+        tree = HuffmanKeyTree(weights, degree=4)
+        assert tree.expected_departure_cost() < balanced_expected_departure_cost(
+            256, 4
+        )
+
+    def test_no_gain_on_uniform_weights(self):
+        weights = {f"m{i}": 1.0 for i in range(256)}
+        tree = HuffmanKeyTree(weights, degree=4)
+        balanced = balanced_expected_departure_cost(256, 4)
+        assert tree.expected_departure_cost() == pytest.approx(balanced, rel=0.10)
+
+    def test_weighted_depth_respects_entropy_floor(self):
+        weights = skewed_weights(128, heavy_weight=30.0)
+        tree = HuffmanKeyTree(weights, degree=4)
+        total = sum(weights.values())
+        weighted_depth = sum(
+            w / total * tree.depth_of(m) for m, w in weights.items()
+        )
+        floor = entropy_lower_bound(list(weights.values()), degree=4)
+        assert weighted_depth >= floor - 1e-9
+        assert weighted_depth <= floor + 1.0  # Huffman optimality slack
+
+    def test_entropy_bound_validation(self):
+        with pytest.raises(ValueError):
+            entropy_lower_bound([0.0, 0.0])
+
+    def test_expected_cost_requires_mass(self):
+        tree = HuffmanKeyTree({"a": 1.0, "b": 1.0})
+        with pytest.raises(ValueError):
+            tree.expected_departure_cost({"ghost": 1.0})

@@ -1,0 +1,56 @@
+"""Unit tests for tree statistics."""
+
+from repro.keytree.stats import collect_stats
+from repro.keytree.tree import KeyTree
+
+from tests.helpers import populate
+from repro.keytree.lkh import LkhRekeyer
+
+
+def test_empty_tree_stats(tree):
+    stats = collect_stats(tree)
+    assert stats.members == 0
+    assert stats.internal == 1  # the permanent root
+    assert stats.height == 0
+
+
+def test_full_tree_is_tight_and_fully_occupied(keygen):
+    tree = KeyTree(degree=4, keygen=keygen)
+    for i in range(64):
+        tree.add_member(f"m{i}")
+    stats = collect_stats(tree)
+    assert stats.members == 64
+    assert stats.height == 3
+    assert stats.optimal_height == 3
+    assert stats.occupancy == 1.0
+    assert stats.is_tight
+    assert stats.mean_fanout == 4.0
+
+
+def test_partial_tree_occupancy_below_one(keygen):
+    tree = KeyTree(degree=4, keygen=keygen)
+    for i in range(40):
+        tree.add_member(f"m{i}")
+    stats = collect_stats(tree)
+    assert 0 < stats.occupancy < 1.0
+    assert stats.members == 40
+
+
+def test_level_populations_sum_to_node_count(keygen):
+    tree = KeyTree(degree=3, keygen=keygen)
+    for i in range(30):
+        tree.add_member(f"m{i}")
+    stats = collect_stats(tree)
+    total_nodes = sum(1 for __ in tree.iter_nodes())
+    assert sum(stats.level_populations.values()) == total_nodes
+
+
+def test_stats_after_churn_remain_consistent(keygen):
+    tree = KeyTree(degree=4, keygen=keygen)
+    rekeyer = LkhRekeyer(tree)
+    populate(rekeyer, 50)
+    rekeyer.rekey_batch(departures=[f"m{i}" for i in range(0, 20)])
+    stats = collect_stats(tree)
+    assert stats.members == 30
+    assert stats.internal >= 1
+    assert stats.min_leaf_depth <= stats.height

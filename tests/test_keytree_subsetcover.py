@@ -1,0 +1,138 @@
+"""Unit tests for the Complete-Subtree broadcast-encryption extension."""
+
+import math
+import random
+
+import pytest
+
+from repro.crypto.material import KeyGenerator
+from repro.keytree.subsetcover import (
+    CompleteSubtreeCenter,
+    CompleteSubtreeReceiver,
+)
+
+
+@pytest.fixture
+def center():
+    return CompleteSubtreeCenter(depth=6, keygen=KeyGenerator(101))  # 64 slots
+
+
+def provision(center, slot):
+    return CompleteSubtreeReceiver(slot, center.receiver_keys(slot))
+
+
+class TestCenter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompleteSubtreeCenter(depth=0)
+        with pytest.raises(ValueError):
+            CompleteSubtreeCenter(depth=41)
+
+    def test_capacity(self, center):
+        assert center.capacity == 64
+
+    def test_node_keys_deterministic_and_distinct(self, center):
+        assert center.node_key(3, 5) == center.node_key(3, 5)
+        keys = {center.node_key(6, i).secret for i in range(64)}
+        assert len(keys) == 64
+
+    def test_receiver_gets_path_keys(self, center):
+        keys = center.receiver_keys(13)
+        assert len(keys) == 7  # depth + 1
+        assert keys[0] == center.node_key(0, 0)
+        assert keys[-1] == center.node_key(6, 13)
+
+    def test_bounds(self, center):
+        with pytest.raises(ValueError):
+            center.receiver_keys(64)
+        with pytest.raises(ValueError):
+            center.revoke(-1)
+        with pytest.raises(ValueError):
+            center.node_key(7, 0)
+
+
+class TestCover:
+    def test_no_revocations_is_root(self, center):
+        assert center.cover() == [(0, 0)]
+
+    def test_all_revoked_is_empty(self, center):
+        for slot in range(64):
+            center.revoke(slot)
+        assert center.cover() == []
+
+    def test_single_revocation_cover_is_depth_nodes(self, center):
+        center.revoke(21)
+        cover = center.cover()
+        assert len(cover) == center.depth  # one sibling subtree per level
+
+    def test_cover_partitions_the_non_revoked(self, center):
+        rng = random.Random(3)
+        revoked = set(rng.sample(range(64), 9))
+        for slot in revoked:
+            center.revoke(slot)
+        covered = set()
+        for depth, index in center.cover():
+            span = 1 << (center.depth - depth)
+            block = set(range(index * span, index * span + span))
+            assert not block & covered, "cover nodes must be disjoint"
+            covered |= block
+        assert covered == set(range(64)) - revoked
+
+    @pytest.mark.parametrize("r", [1, 2, 4, 8, 16])
+    def test_cover_size_within_r_log_bound(self, r):
+        center = CompleteSubtreeCenter(depth=10, keygen=KeyGenerator(5))
+        rng = random.Random(r)
+        for slot in rng.sample(range(center.capacity), r):
+            center.revoke(slot)
+        bound = r * math.log2(center.capacity / r) + r
+        assert len(center.cover()) <= bound
+
+
+class TestBroadcast:
+    def test_non_revoked_receivers_extract_session_key(self, center):
+        session = KeyGenerator(7).generate("session", version=1)
+        center.revoke(3)
+        center.revoke(40)
+        broadcast = center.broadcast(session)
+        for slot in (0, 10, 39, 63):
+            receiver = provision(center, slot)
+            assert receiver.extract(broadcast) == session
+
+    def test_revoked_receiver_locked_out(self, center):
+        session = KeyGenerator(7).generate("session", version=1)
+        receiver = provision(center, 3)  # provisioned BEFORE revocation
+        center.revoke(3)
+        broadcast = center.broadcast(session)
+        with pytest.raises(KeyError):
+            receiver.extract(broadcast)
+
+    def test_statelessness_receiver_never_updates(self, center):
+        """The defining property: a receiver that slept through any number
+        of revocations still extracts the current session key from a
+        single fresh broadcast, with its original keys."""
+        receiver = provision(center, 50)
+        gen = KeyGenerator(8)
+        for round_index, slot in enumerate((1, 2, 3, 17, 33)):
+            center.revoke(slot)
+            session = gen.generate("session", version=round_index)
+            assert receiver.extract(center.broadcast(session)) == session
+
+    def test_colluding_revoked_receivers_stay_out(self, center):
+        """Two revoked receivers pooling their path keys still hold no
+        cover key (every cover subtree is revoked-free by construction)."""
+        a, b = provision(center, 3), provision(center, 40)
+        center.revoke(3)
+        center.revoke(40)
+        session = KeyGenerator(7).generate("session", version=1)
+        broadcast = center.broadcast(session)
+        pooled = CompleteSubtreeReceiver(
+            3, center.receiver_keys(3) + center.receiver_keys(40)
+        )
+        # Rebuild pooled from both *original* key sets (pre-revocation).
+        with pytest.raises(KeyError):
+            pooled.extract(broadcast)
+
+    def test_broadcast_cost_tracks_cover_size(self, center):
+        center.revoke(5)
+        session = KeyGenerator(7).generate("session", version=1)
+        assert len(center.broadcast(session)) == len(center.cover())

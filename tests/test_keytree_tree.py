@@ -1,0 +1,179 @@
+"""Unit tests for the balanced d-ary key tree."""
+
+import math
+
+import pytest
+
+from repro.crypto.material import KeyGenerator
+from repro.keytree.tree import KeyTree
+
+
+class TestConstruction:
+    def test_rejects_degree_below_two(self):
+        with pytest.raises(ValueError):
+            KeyTree(degree=1)
+
+    def test_starts_empty_with_permanent_root(self, tree):
+        assert tree.size == 0
+        assert tree.root is not None
+        assert not tree.root.is_leaf
+        assert tree.height() == 0
+
+
+class TestAddMember:
+    def test_add_single(self, tree):
+        leaf = tree.add_member("a")
+        assert tree.size == 1
+        assert "a" in tree
+        assert leaf.member_id == "a"
+        assert leaf.parent is tree.root
+        tree.validate()
+
+    def test_duplicate_rejected(self, tree):
+        tree.add_member("a")
+        with pytest.raises(ValueError):
+            tree.add_member("a")
+
+    def test_leaf_key_id_is_global(self, tree):
+        leaf = tree.add_member("alice")
+        assert leaf.key.key_id == "member:alice"
+
+    def test_supplied_key_is_kept(self, tree, keygen):
+        key = keygen.generate("member:bob")
+        leaf = tree.add_member("bob", key)
+        assert leaf.key is key
+
+    @pytest.mark.parametrize("count", [1, 4, 5, 16, 17, 64, 100])
+    def test_insertion_keeps_balance(self, keygen, count):
+        tree = KeyTree(degree=4, keygen=keygen)
+        for i in range(count):
+            tree.add_member(f"m{i}")
+        tree.validate()
+        assert tree.is_balanced()
+
+    @pytest.mark.parametrize("degree", [2, 3, 4, 8])
+    def test_balance_across_degrees(self, keygen, degree):
+        tree = KeyTree(degree=degree, keygen=keygen)
+        for i in range(50):
+            tree.add_member(f"m{i}")
+        tree.validate()
+        assert tree.is_balanced()
+
+    def test_full_tree_is_perfect(self, keygen):
+        tree = KeyTree(degree=4, keygen=keygen)
+        for i in range(64):
+            tree.add_member(f"m{i}")
+        assert tree.height() == 3
+        assert all(leaf.depth == 3 for leaf in tree.root.iter_leaves())
+
+
+class TestRemoveMember:
+    def test_remove_unknown_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.remove_member("ghost")
+
+    def test_remove_only_member(self, tree):
+        tree.add_member("a")
+        survivors = tree.remove_member("a")
+        assert tree.size == 0
+        assert survivors == [tree.root]
+        tree.validate()
+
+    def test_remove_returns_surviving_ancestors_deepest_first(self, tree):
+        for i in range(16):
+            tree.add_member(f"m{i}")
+        leaf = tree.leaf_of("m5")
+        expected = leaf.path_to_root()[1:]
+        survivors = tree.remove_member("m5")
+        assert survivors == expected
+        assert survivors[-1] is tree.root
+
+    def test_unary_nodes_are_spliced(self, keygen):
+        tree = KeyTree(degree=2, keygen=keygen)
+        for m in ("a", "b", "c"):
+            tree.add_member(m)
+        tree.remove_member("b")
+        tree.validate()
+        for node in tree.internal_nodes():
+            if node is not tree.root:
+                assert len(node.children) >= 2
+
+    def test_remove_all_members(self, tree):
+        members = [f"m{i}" for i in range(20)]
+        for m in members:
+            tree.add_member(m)
+        for m in members:
+            tree.remove_member(m)
+            tree.validate()
+        assert tree.size == 0
+
+    def test_slots_are_reused_after_removal(self, tree):
+        for i in range(16):
+            tree.add_member(f"m{i}")
+        height_before = tree.height()
+        tree.remove_member("m3")
+        tree.add_member("fresh")
+        assert tree.height() == height_before
+        tree.validate()
+
+
+class TestQueries:
+    def test_path_of_runs_leaf_to_root(self, tree):
+        for i in range(10):
+            tree.add_member(f"m{i}")
+        path = tree.path_of("m7")
+        assert path[0].member_id == "m7"
+        assert path[-1] is tree.root
+        for child, parent in zip(path, path[1:]):
+            assert child.parent is parent
+
+    def test_leaf_of_unknown_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.leaf_of("nope")
+
+    def test_members_listing(self, tree):
+        for i in range(5):
+            tree.add_member(f"m{i}")
+        assert sorted(tree.members()) == [f"m{i}" for i in range(5)]
+
+    def test_node_lookup(self, tree):
+        leaf = tree.add_member("a")
+        assert tree.node(leaf.node_id) is leaf
+        with pytest.raises(KeyError):
+            tree.node("missing")
+
+    def test_internal_nodes_excludes_leaves(self, tree):
+        for i in range(10):
+            tree.add_member(f"m{i}")
+        internals = tree.internal_nodes()
+        assert tree.root in internals
+        assert all(not n.is_leaf for n in internals)
+
+    def test_height_grows_logarithmically(self, keygen):
+        tree = KeyTree(degree=4, keygen=keygen)
+        for i in range(256):
+            tree.add_member(f"m{i}")
+        assert tree.height() == math.ceil(math.log(256, 4))
+
+
+class TestChurn:
+    def test_interleaved_churn_preserves_invariants(self, keygen):
+        import random
+
+        rng = random.Random(5)
+        tree = KeyTree(degree=3, keygen=keygen)
+        alive = []
+        counter = 0
+        for step in range(400):
+            if alive and rng.random() < 0.45:
+                victim = alive.pop(rng.randrange(len(alive)))
+                tree.remove_member(victim)
+            else:
+                member = f"m{counter}"
+                counter += 1
+                tree.add_member(member)
+                alive.append(member)
+            if step % 50 == 0:
+                tree.validate()
+        tree.validate()
+        assert tree.size == len(alive)

@@ -1,0 +1,43 @@
+"""Unit tests for arrival processes."""
+
+import random
+
+import pytest
+
+from repro.members.arrivals import DeterministicArrivals, PoissonArrivals
+
+
+class TestPoissonArrivals:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0)
+
+    def test_times_sorted_and_within_horizon(self):
+        rng = random.Random(5)
+        times = list(PoissonArrivals(2.0).times(rng, 100.0))
+        assert times == sorted(times)
+        assert all(0 <= t < 100.0 for t in times)
+
+    def test_rate_converges(self):
+        rng = random.Random(6)
+        times = list(PoissonArrivals(3.0).times(rng, 10_000.0))
+        assert len(times) / 10_000.0 == pytest.approx(3.0, rel=0.05)
+
+    def test_reproducible_with_seed(self):
+        a = list(PoissonArrivals(1.0).times(random.Random(7), 50.0))
+        b = list(PoissonArrivals(1.0).times(random.Random(7), 50.0))
+        assert a == b
+
+
+class TestDeterministicArrivals:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals(0)
+
+    def test_evenly_spaced(self):
+        times = list(DeterministicArrivals(10.0).times(random.Random(0), 45.0))
+        assert times == [10.0, 20.0, 30.0, 40.0]
+
+    def test_horizon_exclusive(self):
+        times = list(DeterministicArrivals(10.0).times(random.Random(0), 30.0))
+        assert times == [10.0, 20.0]

@@ -1,0 +1,121 @@
+"""Unit tests for membership-duration models."""
+
+import math
+import random
+
+import pytest
+
+from repro.members.durations import (
+    LONG_CLASS,
+    SHORT_CLASS,
+    ExponentialDuration,
+    TwoClassDuration,
+    ZipfDuration,
+    exponential_departure_probability,
+)
+
+
+class TestDepartureProbability:
+    def test_zero_time_is_zero(self):
+        assert exponential_departure_probability(0.0, 100.0) == 0.0
+
+    def test_matches_closed_form(self):
+        assert exponential_departure_probability(60.0, 180.0) == pytest.approx(
+            1 - math.exp(-1 / 3)
+        )
+
+    def test_saturates_to_one(self):
+        assert exponential_departure_probability(1e9, 1.0) == pytest.approx(1.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            exponential_departure_probability(-1.0, 10.0)
+
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(ValueError):
+            exponential_departure_probability(1.0, 0.0)
+
+
+class TestExponentialDuration:
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            ExponentialDuration(0)
+
+    def test_sample_mean_converges(self):
+        rng = random.Random(1)
+        model = ExponentialDuration(120.0)
+        mean = sum(model.sample(rng) for __ in range(20_000)) / 20_000
+        assert mean == pytest.approx(120.0, rel=0.05)
+
+
+class TestTwoClassDuration:
+    def test_defaults_are_table1(self):
+        model = TwoClassDuration()
+        assert model.short_mean == 180.0
+        assert model.long_mean == 10_800.0
+        assert model.alpha == 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoClassDuration(alpha=1.5)
+        with pytest.raises(ValueError):
+            TwoClassDuration(short_mean=-1)
+
+    def test_marginal_mean(self):
+        model = TwoClassDuration(100.0, 1000.0, 0.75)
+        assert model.mean == pytest.approx(0.75 * 100 + 0.25 * 1000)
+
+    def test_class_fractions_converge(self):
+        rng = random.Random(2)
+        model = TwoClassDuration(alpha=0.8)
+        samples = [model.sample_with_class(rng)[1] for __ in range(20_000)]
+        short_fraction = samples.count(SHORT_CLASS) / len(samples)
+        assert short_fraction == pytest.approx(0.8, abs=0.02)
+        assert set(samples) == {SHORT_CLASS, LONG_CLASS}
+
+    def test_departure_probability_is_mixture(self):
+        model = TwoClassDuration(100.0, 1000.0, 0.6)
+        expected = 0.6 * (1 - math.exp(-0.5)) + 0.4 * (1 - math.exp(-0.05))
+        assert model.departure_probability(50.0) == pytest.approx(expected)
+
+    def test_mean_exceeds_median_for_paper_workload(self):
+        """The Almeroth–Ammar signature: mean ≫ median (5 h vs 6.5 min)."""
+        model = TwoClassDuration()  # Ms=3 min, Ml=3 h, alpha=0.8
+        assert model.mean > 10 * model.median()
+
+    def test_median_matches_cdf(self):
+        model = TwoClassDuration()
+        assert model.departure_probability(model.median()) == pytest.approx(
+            0.5, abs=1e-6
+        )
+
+
+class TestZipfDuration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfDuration(exponent=0)
+        with pytest.raises(ValueError):
+            ZipfDuration(minimum=0)
+
+    def test_samples_respect_minimum(self):
+        rng = random.Random(3)
+        model = ZipfDuration(exponent=1.5, minimum=30.0)
+        assert all(model.sample(rng) >= 30.0 for __ in range(1000))
+
+    def test_mean_infinite_for_heavy_tail(self):
+        assert math.isinf(ZipfDuration(exponent=0.9).mean)
+
+    def test_mean_finite_otherwise(self):
+        model = ZipfDuration(exponent=2.0, minimum=10.0)
+        assert model.mean == pytest.approx(20.0)
+
+    def test_departure_probability(self):
+        model = ZipfDuration(exponent=1.0, minimum=10.0)
+        assert model.departure_probability(5.0) == 0.0
+        assert model.departure_probability(20.0) == pytest.approx(0.5)
+
+    def test_classes_split_roughly_evenly_at_median(self):
+        rng = random.Random(4)
+        model = ZipfDuration(exponent=1.2, minimum=30.0)
+        classes = [model.sample_with_class(rng)[1] for __ in range(10_000)]
+        assert classes.count(SHORT_CLASS) / len(classes) == pytest.approx(0.5, abs=0.03)

@@ -1,0 +1,117 @@
+"""Unit tests for the receiver-side key state machine."""
+
+import pytest
+
+from repro.crypto.cipher import AuthenticationError, encrypt
+from repro.crypto.material import KeyGenerator
+from repro.crypto.wrap import wrap_key
+from repro.members.member import Member
+
+
+@pytest.fixture
+def gen():
+    return KeyGenerator(21)
+
+
+@pytest.fixture
+def member(gen):
+    return Member("alice", gen.generate("member:alice"))
+
+
+class TestKeyState:
+    def test_starts_with_individual_key_only(self, member):
+        assert member.key_count() == 1
+        assert member.holds("member:alice")
+        assert member.holds("member:alice", 0)
+
+    def test_key_lookup_errors(self, member):
+        with pytest.raises(KeyError):
+            member.key("unknown")
+
+    def test_install_and_held_versions(self, member, gen):
+        member.install(gen.generate("aux", version=2))
+        assert member.held_versions() == {"member:alice": 0, "aux": 2}
+
+    def test_install_refuses_downgrade(self, member, gen):
+        newer = gen.generate("aux", version=3)
+        older = gen.generate("aux", version=1)
+        member.install(newer)
+        member.install(older)
+        assert member.key("aux").version == 3
+
+    def test_drop_keys(self, member, gen):
+        member.install(gen.generate("aux"))
+        member.drop_keys(["aux", "never-held"])
+        assert not member.holds("aux")
+
+
+class TestAbsorb:
+    def test_absorbs_reachable_chain_regardless_of_order(self, member, gen):
+        """parent wrapped under aux, aux wrapped under the individual key —
+        presented parent-first, requiring the fixed-point pass."""
+        aux = gen.generate("aux", version=1)
+        parent = gen.generate("parent", version=1)
+        chain = [
+            wrap_key(aux, parent),
+            wrap_key(member.key("member:alice"), aux),
+        ]
+        learned = member.absorb(chain)
+        assert {k.key_id for k in learned} == {"aux", "parent"}
+        assert member.holds("parent", 1)
+
+    def test_ignores_wraps_for_missing_keys(self, member, gen):
+        other = gen.generate("other")
+        payload = gen.generate("secret")
+        assert member.absorb([wrap_key(other, payload)]) == []
+        assert not member.holds("secret")
+
+    def test_ignores_wraps_under_stale_version(self, member, gen):
+        aux_v0 = gen.generate("aux", version=0)
+        aux_v2 = gen.generate("aux", version=2)
+        member.install(aux_v0)
+        payload = gen.generate("secret", version=1)
+        assert member.absorb([wrap_key(aux_v2, payload)]) == []
+
+    def test_skips_already_known_payload_versions(self, member, gen):
+        aux = gen.generate("aux", version=5)
+        member.install(aux)
+        stale_payload = gen.generate("aux", version=4)
+        wrap = wrap_key(member.key("member:alice"), stale_payload)
+        assert member.absorb([wrap]) == []
+        assert member.key("aux").version == 5
+
+    def test_useful_subset_does_not_mutate(self, member, gen):
+        aux = gen.generate("aux", version=1)
+        wraps = [wrap_key(member.key("member:alice"), aux)]
+        useful = member.useful_subset(wraps)
+        assert len(useful) == 1
+        assert not member.holds("aux")
+
+    def test_useful_subset_follows_chains(self, member, gen):
+        aux = gen.generate("aux", version=1)
+        parent = gen.generate("parent", version=1)
+        wraps = [
+            wrap_key(aux, parent),
+            wrap_key(member.key("member:alice"), aux),
+        ]
+        assert len(member.useful_subset(wraps)) == 2
+
+
+class TestDataPlane:
+    def test_decrypts_traffic_with_group_key(self, member, gen):
+        dek = gen.generate("group/dek", version=7)
+        member.install(dek)
+        blob = encrypt(dek.secret, b"n", b"payload")
+        assert member.decrypt_data("group/dek", b"n", blob) == b"payload"
+
+    def test_stale_group_key_fails_authentication(self, member, gen):
+        old = gen.generate("group/dek", version=1)
+        new = gen.rekey(old)
+        member.install(old)
+        blob = encrypt(new.secret, b"n", b"payload")
+        with pytest.raises(AuthenticationError):
+            member.decrypt_data("group/dek", b"n", blob)
+
+    def test_missing_group_key_raises_key_error(self, member):
+        with pytest.raises(KeyError):
+            member.decrypt_data("group/dek", b"n", b"\x00" * 32)

@@ -1,0 +1,61 @@
+"""Unit tests for loss-class populations."""
+
+import random
+
+import pytest
+
+from repro.members.population import LossClass, LossPopulation
+
+
+class TestLossClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossClass("x", 1.0, 0.5)  # loss must be < 1
+        with pytest.raises(ValueError):
+            LossClass("x", 0.1, 1.5)
+
+
+class TestLossPopulation:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            LossPopulation((LossClass("a", 0.1, 0.5), LossClass("b", 0.2, 0.4)))
+
+    def test_names_must_be_distinct(self):
+        with pytest.raises(ValueError):
+            LossPopulation((LossClass("a", 0.1, 0.5), LossClass("a", 0.2, 0.5)))
+
+    def test_two_point_defaults(self):
+        pop = LossPopulation.two_point()
+        assert pop.rates_and_fractions() == [(0.20, 0.2), (0.02, 0.8)]
+
+    def test_homogeneous(self):
+        pop = LossPopulation.homogeneous(0.05)
+        assert pop.mean_loss() == pytest.approx(0.05)
+
+    def test_mean_loss(self):
+        pop = LossPopulation.two_point(0.2, 0.02, 0.25)
+        assert pop.mean_loss() == pytest.approx(0.25 * 0.2 + 0.75 * 0.02)
+
+    def test_assign_matches_fractions(self):
+        rng = random.Random(8)
+        pop = LossPopulation.two_point(high_fraction=0.3)
+        draws = [pop.assign(rng).name for __ in range(20_000)]
+        assert draws.count("high") / len(draws) == pytest.approx(0.3, abs=0.02)
+
+    def test_split_counts_exact_total(self):
+        pop = LossPopulation.two_point(high_fraction=0.3)
+        counts = pop.split_counts(100)
+        assert sum(counts) == 100
+        assert counts == [30, 70]
+
+    def test_split_counts_largest_remainder(self):
+        pop = LossPopulation(
+            (
+                LossClass("a", 0.1, 1 / 3),
+                LossClass("b", 0.1 + 1e-9, 1 / 3),
+                LossClass("c", 0.2, 1 / 3),
+            )
+        )
+        counts = pop.split_counts(100)
+        assert sum(counts) == 100
+        assert sorted(counts) == [33, 33, 34]

@@ -1,0 +1,96 @@
+"""Unit tests for synthetic MBone-style traces."""
+
+import pytest
+
+from repro.members.population import LossPopulation
+from repro.members.trace import (
+    MBoneTraceGenerator,
+    MembershipRecord,
+    read_trace,
+    trace_statistics,
+    write_trace,
+)
+from repro.members.durations import TwoClassDuration
+
+
+class TestMembershipRecord:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            MembershipRecord("m", 10.0, 5.0, "Cs")
+
+    def test_duration(self):
+        record = MembershipRecord("m", 10.0, 40.0, "Cs")
+        assert record.duration == 30.0
+
+
+class TestGenerator:
+    def test_reproducible(self):
+        a = MBoneTraceGenerator(seed=3).generate(3600)
+        b = MBoneTraceGenerator(seed=3).generate(3600)
+        assert a == b
+
+    def test_leave_times_clamped_to_session_end(self):
+        records = MBoneTraceGenerator(seed=4).generate(1800)
+        assert all(r.leave_time <= 1800 for r in records)
+        assert all(r.join_time < 1800 for r in records)
+
+    def test_arrival_rate_respected(self):
+        records = MBoneTraceGenerator(arrival_rate=2.0, seed=5).generate(10_000)
+        assert len(records) / 10_000 == pytest.approx(2.0, rel=0.05)
+
+    def test_loss_population_attached(self):
+        pop = LossPopulation.two_point()
+        records = MBoneTraceGenerator(loss_population=pop, seed=6).generate(600)
+        rates = {r.loss_rate for r in records}
+        assert rates <= {0.20, 0.02}
+
+    def test_paper_signature_mean_much_greater_than_median(self):
+        """[AA97]: 'the average membership duration is 5 hours, while the
+        median duration is only 6.5 minutes' — our default mixture shows
+        the same mean >> median signature."""
+        generator = MBoneTraceGenerator(
+            duration_model=TwoClassDuration(180.0, 18_000.0, 0.85),
+            arrival_rate=1.0,
+            seed=7,
+        )
+        stats = trace_statistics(generator.generate(200_000))
+        assert stats.mean_duration > 5 * stats.median_duration
+
+
+class TestStatistics:
+    def test_empty_trace(self):
+        stats = trace_statistics([])
+        assert stats.members == 0
+        assert stats.max_concurrency == 0
+
+    def test_concurrency_counting(self):
+        records = [
+            MembershipRecord("a", 0.0, 10.0, "Cs"),
+            MembershipRecord("b", 5.0, 15.0, "Cs"),
+            MembershipRecord("c", 12.0, 20.0, "Cl"),
+        ]
+        stats = trace_statistics(records)
+        assert stats.max_concurrency == 2
+        assert stats.members == 3
+        assert stats.short_fraction == pytest.approx(2 / 3)
+
+    def test_median_even_count(self):
+        records = [
+            MembershipRecord("a", 0.0, 10.0, "Cs"),
+            MembershipRecord("b", 0.0, 20.0, "Cs"),
+        ]
+        assert trace_statistics(records).median_duration == 15.0
+
+
+class TestRoundtrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        records = MBoneTraceGenerator(seed=8).generate(900)
+        path = tmp_path / "trace.txt"
+        write_trace(records, path)
+        loaded = read_trace(path)
+        assert len(loaded) == len(records)
+        for original, restored in zip(records, loaded):
+            assert restored.member_id == original.member_id
+            assert restored.join_time == pytest.approx(original.join_time, abs=1e-6)
+            assert restored.leave_time == pytest.approx(original.leave_time, abs=1e-6)
+            assert restored.member_class == original.member_class

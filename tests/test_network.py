@@ -1,0 +1,127 @@
+"""Unit tests for loss processes and the multicast channel."""
+
+import random
+
+import pytest
+
+from repro.network.channel import MulticastChannel
+from repro.network.loss import BernoulliLoss, GilbertElliottLoss
+
+
+class TestBernoulliLoss:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.0)
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+
+    def test_zero_loss_never_loses(self):
+        rng = random.Random(1)
+        loss = BernoulliLoss(0.0)
+        assert not any(loss.lost(rng) for __ in range(1000))
+
+    def test_rate_converges(self):
+        rng = random.Random(2)
+        loss = BernoulliLoss(0.2)
+        observed = sum(loss.lost(rng) for __ in range(50_000)) / 50_000
+        assert observed == pytest.approx(0.2, abs=0.01)
+        assert loss.mean_loss == 0.2
+
+
+class TestGilbertElliott:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(bad_loss=1.5)
+
+    def test_stationary_mean(self):
+        loss = GilbertElliottLoss(
+            p_good_to_bad=0.1, p_bad_to_good=0.3, good_loss=0.0, bad_loss=0.4
+        )
+        assert loss.mean_loss == pytest.approx(0.1 / 0.4 * 0.4)
+
+    def test_empirical_mean_matches_stationary(self):
+        rng = random.Random(3)
+        loss = GilbertElliottLoss(
+            p_good_to_bad=0.05, p_bad_to_good=0.25, good_loss=0.01, bad_loss=0.5
+        )
+        observed = sum(loss.lost(rng) for __ in range(200_000)) / 200_000
+        assert observed == pytest.approx(loss.mean_loss, abs=0.01)
+
+    def test_burstiness(self):
+        """Losses cluster: P[loss | previous loss] > P[loss]."""
+        rng = random.Random(4)
+        loss = GilbertElliottLoss(
+            p_good_to_bad=0.02, p_bad_to_good=0.2, good_loss=0.0, bad_loss=0.6
+        )
+        outcomes = [loss.lost(rng) for __ in range(100_000)]
+        after_loss = [b for a, b in zip(outcomes, outcomes[1:]) if a]
+        conditional = sum(after_loss) / len(after_loss)
+        marginal = sum(outcomes) / len(outcomes)
+        assert conditional > marginal * 2
+
+
+class TestMulticastChannel:
+    def test_subscribe_and_unsubscribe(self):
+        channel = MulticastChannel(seed=0)
+        channel.subscribe("a", BernoulliLoss(0.0))
+        assert channel.receiver_count == 1
+        channel.unsubscribe("a")
+        assert channel.receiver_count == 0
+        channel.unsubscribe("a")  # idempotent
+
+    def test_duplicate_subscribe_rejected(self):
+        channel = MulticastChannel(seed=0)
+        channel.subscribe("a", BernoulliLoss(0.0))
+        with pytest.raises(ValueError):
+            channel.subscribe("a", BernoulliLoss(0.0))
+
+    def test_loss_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MulticastChannel(seed=0).loss_of("ghost")
+
+    def test_lossless_multicast_reaches_everyone(self):
+        channel = MulticastChannel(seed=0)
+        for i in range(10):
+            channel.subscribe(f"r{i}", BernoulliLoss(0.0))
+        report = channel.multicast("pkt")
+        assert report.fully_delivered
+        assert len(report.delivered_to) == 10
+
+    def test_certain_loss_reaches_no_one(self):
+        channel = MulticastChannel(seed=0)
+        channel.subscribe("r", BernoulliLoss(0.999999999))
+        report = channel.multicast("pkt")
+        assert report.lost_at == {"r"}
+
+    def test_audience_scopes_the_report(self):
+        channel = MulticastChannel(seed=0)
+        for i in range(5):
+            channel.subscribe(f"r{i}", BernoulliLoss(0.0))
+        report = channel.multicast("pkt", audience={"r1", "r3"})
+        assert report.delivered_to == {"r1", "r3"}
+
+    def test_audience_ignores_unsubscribed(self):
+        channel = MulticastChannel(seed=0)
+        channel.subscribe("r0", BernoulliLoss(0.0))
+        report = channel.multicast("pkt", audience={"r0", "ghost"})
+        assert report.delivered_to == {"r0"}
+
+    def test_counters(self):
+        channel = MulticastChannel(seed=1)
+        channel.subscribe("a", BernoulliLoss(0.0))
+        channel.subscribe("b", BernoulliLoss(0.5))
+        for __ in range(100):
+            channel.multicast("pkt")
+        assert channel.packets_sent == 100
+        assert channel.receptions + channel.losses == 200
+
+    def test_reproducible_with_seed(self):
+        def run(seed):
+            channel = MulticastChannel(seed=seed)
+            channel.subscribe("a", BernoulliLoss(0.3))
+            return [bool(channel.multicast(i).delivered_to) for i in range(50)]
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)

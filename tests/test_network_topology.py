@@ -1,0 +1,100 @@
+"""Unit tests for the multicast topology substrate and [BB01] experiment."""
+
+import pytest
+
+from repro.experiments.topology import topology_gain
+from repro.network.topology import MulticastTopology
+
+
+def diamond():
+    """root -> a, b; a -> r1, r2; b -> r3."""
+    return MulticastTopology(
+        {"a": "root", "b": "root", "r1": "a", "r2": "a", "r3": "b"}
+    )
+
+
+class TestConstruction:
+    def test_infers_root(self):
+        topo = diamond()
+        assert topo.root == "root"
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastTopology({"a": "root1", "b": "root2"})
+
+    def test_explicit_root_must_exist(self):
+        with pytest.raises(ValueError):
+            MulticastTopology({"a": "root"}, root="elsewhere")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastTopology({"a": "b", "b": "a", "c": "root", "root2": "c"})
+
+    def test_random_tree_shape(self):
+        topo, receivers = MulticastTopology.random_tree(
+            20, branching=2, depth=3, seed=1
+        )
+        assert len(receivers) == 20
+        for r in receivers:
+            # receivers hang off depth-3 routers -> depth 4.
+            assert len(topo.path_to_root(r)) == 5
+
+    def test_random_tree_validation(self):
+        with pytest.raises(ValueError):
+            MulticastTopology.random_tree(0)
+        with pytest.raises(ValueError):
+            MulticastTopology.random_tree(5, branching=0)
+
+
+class TestLinkCost:
+    def test_single_receiver_costs_path_length(self):
+        topo = diamond()
+        assert topo.multicast_link_cost(["r1"]) == 2
+
+    def test_shared_path_counted_once(self):
+        topo = diamond()
+        # r1 and r2 share the root->a link: 1 + 2 = 3 links, not 4.
+        assert topo.multicast_link_cost(["r1", "r2"]) == 3
+
+    def test_disjoint_branches_add(self):
+        topo = diamond()
+        assert topo.multicast_link_cost(["r1", "r3"]) == 4
+
+    def test_empty_audience_is_free(self):
+        assert diamond().multicast_link_cost([]) == 0
+
+    def test_cluster_by_router(self):
+        topo = diamond()
+        clusters = topo.cluster_by_router(["r1", "r2", "r3"], level=1)
+        assert clusters == {"a": ["r1", "r2"], "b": ["r3"]}
+
+
+class TestTopologyGain:
+    def test_clustered_placement_saves_links(self):
+        """The [BB01] claim: topology-aligned key trees cost fewer
+        multicast links per rekeying."""
+        wins = 0
+        for seed in range(3):
+            results = topology_gain(
+                receiver_count=128, departure_count=12, seed=seed
+            )
+            if (
+                results["clustered"].total_link_cost
+                < results["random"].total_link_cost
+            ):
+                wins += 1
+        assert wins >= 2
+
+    def test_result_accounting(self):
+        results = topology_gain(receiver_count=64, departure_count=8, seed=5)
+        for result in results.values():
+            assert result.encrypted_keys > 0
+            assert result.total_link_cost > 0
+            assert result.links_per_key > 0
+
+    def test_unknown_placement_rejected(self):
+        from repro.experiments.topology import _run_placement
+
+        topo, receivers = MulticastTopology.random_tree(8, seed=0)
+        with pytest.raises(ValueError):
+            _run_placement("diagonal", topo, receivers, receivers[:1], 4, 0)

@@ -1,0 +1,79 @@
+"""Unit tests for the adaptive controller (Section 3.4)."""
+
+import random
+
+import pytest
+
+from repro.members.durations import TwoClassDuration
+from repro.server.adaptive import AdaptiveController, fit_two_exponential
+
+
+def synthesize(controller, model, count, seed=0):
+    rng = random.Random(seed)
+    for i in range(count):
+        duration, __ = model.sample_with_class(rng)
+        controller.observe_join(f"m{i}", float(i))
+        controller.observe_leave(f"m{i}", float(i) + duration)
+
+
+class TestEmFit:
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            fit_two_exponential([1.0, 2.0])
+
+    def test_recovers_bimodal_mixture(self):
+        rng = random.Random(1)
+        model = TwoClassDuration(120.0, 7200.0, 0.7)
+        durations = [model.sample(rng) for __ in range(5000)]
+        estimate = fit_two_exponential(durations)
+        assert estimate.short_mean == pytest.approx(120.0, rel=0.25)
+        assert estimate.long_mean == pytest.approx(7200.0, rel=0.25)
+        assert estimate.alpha == pytest.approx(0.7, abs=0.08)
+
+    def test_orders_components(self):
+        rng = random.Random(2)
+        model = TwoClassDuration(60.0, 6000.0, 0.5)
+        durations = [model.sample(rng) for __ in range(2000)]
+        estimate = fit_two_exponential(durations)
+        assert estimate.short_mean < estimate.long_mean
+
+    def test_ignores_non_positive_durations(self):
+        durations = [0.0, -1.0] + [10.0, 12.0, 500.0, 600.0, 11.0, 550.0]
+        estimate = fit_two_exponential(durations)
+        assert estimate.samples == 6
+
+
+class TestController:
+    def test_no_recommendation_before_min_samples(self):
+        controller = AdaptiveController(min_samples=100)
+        synthesize(controller, TwoClassDuration(), 50)
+        assert controller.recommend(group_size=1000) is None
+
+    def test_dynamic_audience_prefers_partitioning(self):
+        controller = AdaptiveController(min_samples=100)
+        synthesize(controller, TwoClassDuration(180.0, 10_800.0, 0.85), 2000)
+        decision = controller.recommend(group_size=65_536)
+        assert decision is not None
+        assert decision.scheme in ("QT-scheme", "TT-scheme")
+        assert decision.k_periods >= 1
+
+    def test_stable_audience_keeps_one_keytree(self):
+        controller = AdaptiveController(min_samples=100)
+        synthesize(controller, TwoClassDuration(7200.0, 14_400.0, 0.3), 2000)
+        decision = controller.recommend(group_size=65_536)
+        assert decision is not None
+        assert decision.scheme == "one-keytree"
+        assert decision.k_periods == 0
+
+    def test_predicted_costs_include_baseline(self):
+        controller = AdaptiveController(min_samples=10, k_candidates=(5, 10))
+        synthesize(controller, TwoClassDuration(), 500)
+        decision = controller.recommend(group_size=10_000)
+        assert decision is not None
+        assert "one-keytree" in decision.predicted_costs
+        assert "QT-scheme@K=5" in decision.predicted_costs
+
+    def test_leave_without_join_ignored(self):
+        controller = AdaptiveController()
+        controller.observe_leave("ghost", 10.0)
+        assert controller.completed_samples == 0

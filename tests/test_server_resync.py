@@ -1,0 +1,96 @@
+"""Tests for the unicast recovery (resync) path."""
+
+import pytest
+
+from repro.members.member import Member
+from repro.server.losshomog import LossHomogenizedServer
+from repro.server.onetree import OneTreeServer
+from repro.server.twopartition import TwoPartitionServer
+
+
+def admit(server, ids, now=0.0, **attrs):
+    members = {}
+    for member_id in ids:
+        reg = server.join(member_id, at_time=now, **attrs)
+        members[member_id] = Member(member_id, reg.individual_key)
+    result = server.rekey(now=now)
+    for member in members.values():
+        member.absorb(result.encrypted_keys)
+    return members
+
+
+def fall_behind_then_resync(server, members, laggard_id, periods=3, **attrs):
+    """Drive churn the laggard never hears, then resync it."""
+    laggard = members[laggard_id]
+    for i in range(periods):
+        now = 60.0 * (i + 2)
+        reg = server.join(f"extra{i}", at_time=now, **attrs)
+        members[f"extra{i}"] = Member(f"extra{i}", reg.individual_key)
+        if i == 1:
+            victim = next(
+                m for m in list(members) if m not in (laggard_id, f"extra{i}")
+            )
+            server.leave(victim, at_time=now)
+            members.pop(victim)
+        result = server.rekey(now=now)
+        for member_id, member in members.items():
+            if member_id != laggard_id:
+                member.absorb(result.encrypted_keys)
+    dek = server.group_key()
+    assert not laggard.holds(dek.key_id, dek.version), "laggard should be stale"
+    laggard.absorb(server.resync(laggard_id))
+    assert laggard.holds(dek.key_id, dek.version)
+
+
+class TestResync:
+    def test_one_keytree(self):
+        server = OneTreeServer(degree=4)
+        members = admit(server, [f"m{i}" for i in range(10)])
+        fall_behind_then_resync(server, members, "m4")
+
+    @pytest.mark.parametrize("mode", ["qt", "tt"])
+    def test_two_partition(self, mode):
+        server = TwoPartitionServer(mode=mode, s_period=1e9)
+        members = admit(server, [f"m{i}" for i in range(10)])
+        fall_behind_then_resync(server, members, "m4")
+
+    def test_two_partition_l_member(self):
+        server = TwoPartitionServer(mode="tt", s_period=60.0)
+        members = admit(server, [f"m{i}" for i in range(8)])
+        result = server.rekey(now=60.0)  # migrate everyone to L
+        for member in members.values():
+            member.absorb(result.encrypted_keys)
+        fall_behind_then_resync(server, members, "m4")
+
+    def test_loss_homogenized(self):
+        server = LossHomogenizedServer(class_rates=(0.2, 0.02))
+        members = admit(server, [f"m{i}" for i in range(10)], loss_rate=0.02)
+        fall_behind_then_resync(server, members, "m4", loss_rate=0.02)
+
+    def test_resync_unknown_member_rejected(self):
+        server = OneTreeServer()
+        with pytest.raises(KeyError):
+            server.resync("ghost")
+
+    def test_resync_pending_joiner_rejected(self):
+        server = OneTreeServer()
+        server.join("pending")
+        with pytest.raises(KeyError):
+            server.resync("pending")
+
+    def test_resync_does_not_leak_to_other_members(self):
+        """Resync wraps are useless to anyone but the target (individual
+        key wrapping)."""
+        server = OneTreeServer(degree=4)
+        members = admit(server, ["a", "b", "c", "d"])
+        wraps = server.resync("a")
+        other = members["b"]
+        before = other.key_count()
+        other.absorb(wraps)
+        assert other.key_count() == before
+
+    def test_resync_cost_is_path_length(self):
+        server = OneTreeServer(degree=4)
+        admit(server, [f"m{i}" for i in range(64)])
+        wraps = server.resync("m0")
+        assert len(wraps) == len(server.tree.path_of("m0")) - 1

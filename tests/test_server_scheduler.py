@@ -1,0 +1,30 @@
+"""Unit tests for the periodic rekey scheduler."""
+
+import pytest
+
+from repro.server.scheduler import PeriodicScheduler
+
+
+class TestPeriodicScheduler:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicScheduler(period=0)
+
+    def test_next_after(self):
+        scheduler = PeriodicScheduler(period=60.0)
+        assert scheduler.next_after(0.0) == 60.0
+        assert scheduler.next_after(59.9) == 60.0
+        assert scheduler.next_after(60.0) == 120.0
+        assert scheduler.next_after(150.0) == 180.0
+
+    def test_next_after_before_start(self):
+        scheduler = PeriodicScheduler(period=60.0, start=100.0)
+        assert scheduler.next_after(10.0) == 100.0
+
+    def test_times_iterates_the_horizon(self):
+        scheduler = PeriodicScheduler(period=30.0)
+        assert list(scheduler.times(100.0)) == [30.0, 60.0, 90.0]
+
+    def test_times_includes_exact_horizon(self):
+        scheduler = PeriodicScheduler(period=50.0)
+        assert list(scheduler.times(100.0)) == [50.0, 100.0]

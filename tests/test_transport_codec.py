@@ -1,0 +1,112 @@
+"""Unit tests for the wire codec."""
+
+import pytest
+
+from repro.crypto.material import KeyGenerator
+from repro.crypto.wrap import wrap_key
+from repro.keytree.lkh import LkhRekeyer, RekeyMessage
+from repro.keytree.tree import KeyTree
+from repro.members.member import Member
+from repro.transport.codec import (
+    CodecError,
+    decode_encrypted_key,
+    decode_rekey_message,
+    encode_encrypted_key,
+    encode_rekey_message,
+    wire_size,
+)
+
+from tests.helpers import populate
+
+
+@pytest.fixture
+def sample_key():
+    gen = KeyGenerator(41)
+    return wrap_key(gen.generate("wrapping", version=3), gen.generate("payload", version=7))
+
+
+@pytest.fixture
+def sample_message(keygen):
+    tree = KeyTree(degree=4, keygen=keygen)
+    rekeyer = LkhRekeyer(tree)
+    populate(rekeyer, 32)
+    return tree, rekeyer.rekey_batch(
+        joins=[("late", None)], departures=["m3", "m9"]
+    )
+
+
+class TestEncryptedKeyCodec:
+    def test_roundtrip(self, sample_key):
+        decoded, offset = decode_encrypted_key(encode_encrypted_key(sample_key))
+        assert decoded == sample_key
+        assert offset == len(encode_encrypted_key(sample_key))
+
+    def test_concatenated_records_parse_sequentially(self, sample_key):
+        blob = encode_encrypted_key(sample_key) * 3
+        offset = 0
+        for __ in range(3):
+            decoded, offset = decode_encrypted_key(blob, offset)
+            assert decoded == sample_key
+        assert offset == len(blob)
+
+    def test_truncation_detected(self, sample_key):
+        blob = encode_encrypted_key(sample_key)
+        for cut in (1, 5, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(CodecError):
+                decode_encrypted_key(blob[:cut])
+
+
+class TestMessageCodec:
+    def test_roundtrip_preserves_everything(self, sample_message):
+        __, message = sample_message
+        decoded = decode_rekey_message(encode_rekey_message(message))
+        assert decoded.group == message.group
+        assert decoded.epoch == message.epoch
+        assert decoded.joined == message.joined
+        assert decoded.departed == message.departed
+        assert decoded.encrypted_keys == message.encrypted_keys
+        assert set(decoded.updated) == set(message.updated)
+
+    def test_decoded_message_still_rekeys_members(self, sample_message):
+        """The parse output is functionally a rekey message: a survivor can
+        absorb it and reach the new root."""
+        tree, message = sample_message
+        decoded = decode_rekey_message(encode_rekey_message(message))
+        survivor = Member("m0", tree.leaf_of("m0").key)
+        for node in tree.path_of("m0"):
+            survivor.install(node.key)
+        survivor.process_rekey(decoded)
+        root = tree.root.key
+        assert survivor.holds(root.key_id, root.version)
+
+    def test_empty_message_roundtrip(self):
+        message = RekeyMessage(group="g", epoch=5)
+        decoded = decode_rekey_message(encode_rekey_message(message))
+        assert decoded.epoch == 5
+        assert decoded.encrypted_keys == []
+
+    def test_bad_magic_rejected(self, sample_message):
+        __, message = sample_message
+        blob = bytearray(encode_rekey_message(message))
+        blob[0] ^= 0xFF
+        with pytest.raises(CodecError):
+            decode_rekey_message(bytes(blob))
+
+    def test_trailing_bytes_rejected(self, sample_message):
+        __, message = sample_message
+        with pytest.raises(CodecError):
+            decode_rekey_message(encode_rekey_message(message) + b"x")
+
+    def test_truncation_rejected(self, sample_message):
+        __, message = sample_message
+        blob = encode_rekey_message(message)
+        with pytest.raises(CodecError):
+            decode_rekey_message(blob[: len(blob) - 3])
+
+    def test_wire_size_scales_with_cost(self, sample_message):
+        """One encrypted key is ~70-90 wire bytes; the paper's #keys metric
+        maps linearly onto bytes."""
+        __, message = sample_message
+        size = wire_size(message)
+        per_key = (size - wire_size(RekeyMessage(group="t/root", epoch=1))) / message.cost
+        assert 60 <= per_key <= 120

@@ -1,0 +1,52 @@
+"""Unit tests for packets and key-to-packet assignment."""
+
+import pytest
+
+from repro.transport.packets import (
+    KeyPacket,
+    order_breadth_first,
+    order_depth_first,
+    pack_indices,
+)
+
+
+class TestPackIndices:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            pack_indices([0, 1], 0)
+
+    def test_exact_fill(self):
+        packets = pack_indices(range(6), 3)
+        assert [p.key_indices for p in packets] == [(0, 1, 2), (3, 4, 5)]
+
+    def test_partial_tail(self):
+        packets = pack_indices(range(7), 3)
+        assert packets[-1].key_indices == (6,)
+
+    def test_seqnos_consecutive_from_start(self):
+        packets = pack_indices(range(9), 2, start_seqno=10)
+        assert [p.seqno for p in packets] == [10, 11, 12, 13, 14]
+
+    def test_empty_input(self):
+        assert pack_indices([], 4) == []
+
+    def test_block_tag_propagates(self):
+        packets = pack_indices(range(4), 2, block=7)
+        assert all(p.block == 7 for p in packets)
+
+    def test_key_count(self):
+        packet = KeyPacket(0, (1, 2, 3))
+        assert packet.key_count == 3
+
+
+class TestOrdering:
+    def test_breadth_first_sorts_by_audience_desc(self):
+        audiences = {0: {"a"}, 1: {"a", "b", "c"}, 2: {"a", "b"}}
+        assert order_breadth_first([0, 1, 2], audiences) == [1, 2, 0]
+
+    def test_breadth_first_ties_break_by_index(self):
+        audiences = {0: {"a"}, 1: {"b"}, 2: {"c"}}
+        assert order_breadth_first([2, 0, 1], audiences) == [0, 1, 2]
+
+    def test_depth_first_preserves_order(self):
+        assert order_depth_first([5, 3, 8]) == [5, 3, 8]

@@ -1,0 +1,38 @@
+"""Model-vs-simulation cross-validation gates.
+
+These are the repository's strongest claims: the analytic curves the
+figures are built from agree with the behaviour of the real system.
+Thresholds are generous (real trees are rougher than the idealized model)
+but tight enough to catch a broken model or a broken simulator.
+"""
+
+import pytest
+
+from repro.experiments.validation import (
+    validate_batch_cost,
+    validate_two_partition,
+    validate_wka_transport,
+)
+
+
+@pytest.mark.slow
+class TestCrossValidation:
+    def test_appendix_a_batch_cost(self):
+        result = validate_batch_cost(group_size=1024, departures=32, batches=20)
+        assert result.relative_error < 0.05
+
+    def test_section_33_one_keytree(self):
+        result = validate_two_partition("one")
+        assert result.relative_error < 0.15
+
+    def test_section_33_tt_scheme(self):
+        result = validate_two_partition("tt")
+        assert result.relative_error < 0.15
+
+    def test_section_33_qt_scheme(self):
+        result = validate_two_partition("qt")
+        assert result.relative_error < 0.15
+
+    def test_appendix_b_wka_transport(self):
+        result = validate_wka_transport(trials=10)
+        assert result.relative_error < 0.25
