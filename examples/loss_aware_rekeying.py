@@ -8,18 +8,26 @@ metric is *keys on the wire*, replication and retransmission included
 (Section 4's metric).
 
 Run:  python examples/loss_aware_rekeying.py
+
+Set REPRO_EXAMPLE_FAST=1 for a seconds-scale run (smaller audience and
+horizon; the numbers are noisier but the mechanics are identical) — the
+test suite's smoke runner uses this.
 """
+
+import os
 
 from repro import LossHomogenizedServer, OneTreeServer, WkaBkrProtocol
 from repro.members import LossPopulation, TwoClassDuration
 from repro.sim import GroupRekeyingSimulation, SimulationConfig
 
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
 HIGH_LOSS = 0.20
 LOW_LOSS = 0.02
 HIGH_FRACTION = 0.2
 REKEY_PERIOD = 60.0
-HORIZON = 60 * REKEY_PERIOD
-WARMUP = 20
+HORIZON = (10 if FAST else 60) * REKEY_PERIOD
+WARMUP = 2 if FAST else 20
+ARRIVAL_RATE = 0.5 if FAST else 2.0
 
 
 def build_servers():
@@ -45,7 +53,7 @@ def main() -> None:
     baseline = None
     for name, server in build_servers().items():
         config = SimulationConfig(
-            arrival_rate=2.0,
+            arrival_rate=ARRIVAL_RATE,
             rekey_period=REKEY_PERIOD,
             horizon=HORIZON,
             duration_model=durations,

@@ -6,9 +6,32 @@ channel — at laptop scale and prints predicted vs measured costs for each
 model (Appendix A, Section 3.3, Appendix B).
 
 Run:  python examples/model_vs_simulation.py
+
+Set REPRO_EXAMPLE_FAST=1 to validate two small configurations only (the
+same ones ``repro validate --fast`` uses) — the test suite's smoke runner
+uses this.
 """
 
-from repro.experiments.validation import run_all_validations
+import os
+
+
+def _validations():
+    from repro.experiments.validation import (
+        run_all_validations,
+        validate_batch_cost,
+        validate_wka_transport,
+    )
+
+    if os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0"):
+        return {
+            "batch-cost": validate_batch_cost(
+                group_size=256, departures=16, batches=10
+            ),
+            "wka-transport": validate_wka_transport(
+                group_size=128, departures=8, trials=5
+            ),
+        }
+    return run_all_validations()
 
 
 def main() -> None:
@@ -16,7 +39,7 @@ def main() -> None:
           "(trees are real, not the model's idealized full trees;\n"
           " agreement within ~15% is the expectation)\n")
     worst = 0.0
-    for name, result in run_all_validations().items():
+    for name, result in _validations().items():
         print(f"{name:14s} {result}")
         worst = max(worst, result.relative_error)
     print(f"\nworst relative error: {worst * 100:.1f}%")

@@ -6,21 +6,28 @@ minutes) and a core stays for hours (class Cl) — and measures the actual
 per-period rekeying bandwidth of every scheme on the same arrival seed.
 
 Run:  python examples/two_partition_pay_per_view.py
+
+Set REPRO_EXAMPLE_FAST=1 for a seconds-scale run (smaller audience and
+horizon; the numbers are noisier but the mechanics are identical) — the
+test suite's smoke runner uses this.
 """
+
+import os
 
 from repro import OneTreeServer, TwoPartitionServer
 from repro.analysis.twopartition import TwoPartitionParameters, scheme_costs
 from repro.members import TwoClassDuration
 from repro.sim import GroupRekeyingSimulation, SimulationConfig
 
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
 REKEY_PERIOD = 60.0
 K_PERIODS = 5
 ALPHA = 0.85
 SHORT_MEAN = 180.0
 LONG_MEAN = 7_200.0
-ARRIVAL_RATE = 4.0  # joins per second
-HORIZON = 90 * REKEY_PERIOD
-WARMUP = 45  # periods to discard
+ARRIVAL_RATE = 0.5 if FAST else 4.0  # joins per second
+HORIZON = (12 if FAST else 90) * REKEY_PERIOD
+WARMUP = 4 if FAST else 45  # periods to discard
 
 
 def build_servers():
@@ -36,7 +43,7 @@ def build_servers():
 def main() -> None:
     durations = TwoClassDuration(SHORT_MEAN, LONG_MEAN, ALPHA)
     print(f"workload: alpha={ALPHA}, Ms={SHORT_MEAN:.0f}s, Ml={LONG_MEAN:.0f}s, "
-          f"{ARRIVAL_RATE:.0f} joins/s, Tp={REKEY_PERIOD:.0f}s, K={K_PERIODS}")
+          f"{ARRIVAL_RATE:g} joins/s, Tp={REKEY_PERIOD:.0f}s, K={K_PERIODS}")
     print(f"{'scheme':14s} {'mean cost/period':>17s} {'vs one-keytree':>15s} "
           f"{'group size':>11s}")
 

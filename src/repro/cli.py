@@ -4,6 +4,7 @@ Commands
 --------
 ``figures``   regenerate any (or all) of the paper's figure tables
 ``headlines`` print the paper-vs-reproduction headline numbers
+``selfcheck`` run the security-conformance battery over every scheme
 ``validate``  run the model-vs-simulation cross validation
 ``simulate``  run one end-to-end simulated session and summarize it
 ``trace``     generate a synthetic MBone-style membership trace
@@ -43,6 +44,35 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             print()
         print(producers[name]())
     return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.testing import (
+        InvariantViolation,
+        run_conformance,
+        scheme_specs,
+    )
+
+    specs = scheme_specs()
+    if args.scheme != "all":
+        specs = [spec for spec in specs if spec.name == args.scheme]
+    failures = 0
+    for spec in specs:
+        try:
+            finished = run_conformance(
+                spec, structural_checks=not args.no_structural
+            )
+        except InvariantViolation as exc:
+            print(f"FAIL {spec.name}: {exc}")
+            failures += 1
+            continue
+        cost = sum(h.total_cost() for h in finished.values())
+        print(
+            f"ok   {spec.name}: {len(finished)} scenarios, "
+            f"{sum(h.epochs for h in finished.values())} batches, "
+            f"{cost} encrypted keys"
+        )
+    return 1 if failures else 0
 
 
 def _cmd_headlines(args: argparse.Namespace) -> int:
@@ -196,6 +226,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("headlines", help="paper-vs-reproduction headline numbers")
     p.set_defaults(func=_cmd_headlines)
+
+    p = sub.add_parser(
+        "selfcheck",
+        help="run the security-conformance battery over the key-server schemes",
+    )
+    from repro.testing.conformance import SCHEME_FACTORIES
+
+    p.add_argument(
+        "--scheme", choices=tuple(SCHEME_FACTORIES) + ("all",), default="all"
+    )
+    p.add_argument(
+        "--no-structural",
+        action="store_true",
+        help="skip per-batch tree structure validation",
+    )
+    p.set_defaults(func=_cmd_selfcheck)
 
     p = sub.add_parser("validate", help="model-vs-simulation cross validation")
     p.add_argument("--fast", action="store_true", help="small configurations only")

@@ -1,0 +1,145 @@
+"""A compact scenario language for scripted conformance runs.
+
+A scenario is a whitespace-separated sequence of operations::
+
+    +alice          join "alice"
+    +bob@Cl         join with an attribute (here ``member_class="Cl"``;
+                    ``@0.2`` means ``loss_rate=0.2``)
+    -alice          leave "alice"
+    .               rekey (one batch point)
+    t+600           advance the clock 600 simulated seconds
+    !bob            audit unicast resync recovery of "bob"
+    !*              audit resync recovery of every admitted member
+
+so ``"+a +b . -a . t+600 . !b"`` reads: two joins, batch, one departure,
+batch, ten minutes pass, batch (migrations fire where applicable), then
+prove "b" is recoverable by unicast.  Scenarios replay identically against
+every server scheme, which is what makes them useful as a conformance
+corpus — see :func:`standard_scenarios`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.testing.harness import ConformanceHarness
+
+Op = Tuple  # ("join", id, attrs) | ("leave", id) | ("rekey",) | ("tick", dt) | ("resync", id|None)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, replayable operation script."""
+
+    name: str
+    ops: Tuple[Op, ...]
+
+    @classmethod
+    def parse(cls, text: str, name: str = "inline") -> "Scenario":
+        """Parse the compact scenario syntax (see module docstring)."""
+        ops: List[Op] = []
+        for token in text.split():
+            if token == ".":
+                ops.append(("rekey",))
+            elif token.startswith("t+"):
+                ops.append(("tick", float(token[2:])))
+            elif token == "!*":
+                ops.append(("resync", None))
+            elif token.startswith("!"):
+                ops.append(("resync", token[1:]))
+            elif token.startswith("+"):
+                body = token[1:]
+                attrs: Dict[str, object] = {}
+                if "@" in body:
+                    body, raw = body.split("@", 1)
+                    try:
+                        attrs["loss_rate"] = float(raw)
+                    except ValueError:
+                        attrs["member_class"] = raw
+                if not body:
+                    raise ValueError(f"empty member id in token {token!r}")
+                ops.append(("join", body, attrs))
+            elif token.startswith("-"):
+                if len(token) < 2:
+                    raise ValueError(f"empty member id in token {token!r}")
+                ops.append(("leave", token[1:]))
+            else:
+                raise ValueError(f"unrecognized scenario token {token!r}")
+        return cls(name=name, ops=tuple(ops))
+
+    def run(
+        self,
+        harness: ConformanceHarness,
+        *,
+        attribute_filter: Optional[Tuple[str, ...]] = None,
+        join_defaults: Optional[Callable[[str], Dict[str, object]]] = None,
+    ) -> ConformanceHarness:
+        """Replay this scenario through ``harness``.
+
+        ``attribute_filter`` names the join attributes the target server
+        understands (e.g. ``("member_class",)`` for PT servers); others
+        are dropped so one scenario text drives every scheme.
+        ``join_defaults(member_id)`` supplies scheme-required attributes
+        (PT's ``member_class``, loss placement's ``loss_rate``) when the
+        scenario text doesn't; explicit ``@`` attributes win.
+        """
+        for op in self.ops:
+            kind = op[0]
+            if kind == "join":
+                __, member_id, attrs = op
+                if join_defaults is not None:
+                    attrs = {**join_defaults(member_id), **attrs}
+                if attribute_filter is not None:
+                    attrs = {k: v for k, v in attrs.items() if k in attribute_filter}
+                harness.join(member_id, **attrs)
+            elif kind == "leave":
+                harness.leave(op[1])
+            elif kind == "rekey":
+                harness.rekey()
+            elif kind == "tick":
+                harness.advance_time(op[1])
+            elif kind == "resync":
+                if op[1] is None:
+                    harness.check_all_resyncs()
+                else:
+                    harness.check_resync(op[1])
+            else:  # pragma: no cover - parse() cannot emit this
+                raise ValueError(f"unknown op {op!r}")
+        return harness
+
+
+def standard_scenarios(s_period: float = 300.0) -> List[Scenario]:
+    """The shared conformance corpus.
+
+    Every scenario here must pass unchanged against every server scheme in
+    the repository; ``s_period`` should match the two-partition servers'
+    ``Ts`` so the migration waves actually fire.
+    """
+    tick = f"t+{s_period:g}"
+    return [
+        Scenario.parse("+a . !a", name="single-member"),
+        Scenario.parse("+a +b +c . -b . !* ", name="smoke"),
+        Scenario.parse("+a +b . +c -c . !*", name="join-leave-same-period"),
+        Scenario.parse(
+            "+a +b +c +d . -a -b -c . +e . -d -e .", name="drain-to-empty"
+        ),
+        Scenario.parse(
+            f"+a +b +c +d +e . {tick} . +f +g . -a {tick} . -f . !*",
+            name="migration-waves",
+        ),
+        Scenario.parse(
+            "+a +b +c . -a . +a . -a . +a . !a", name="rejoin-same-id"
+        ),
+        Scenario.parse(
+            "+a +b +c +d +e +f +g +h . . -b -d -f . +i +j -h . "
+            f"{tick} . -a . !*",
+            name="churn-mix",
+        ),
+        Scenario.parse(
+            " ".join(f"+m{i}" for i in range(24)) + " . "
+            + " ".join(f"-m{i}" for i in range(0, 24, 3)) + " . "
+            + f"{tick} . " + " ".join(f"-m{i}" for i in range(1, 24, 3)) + " . !*",
+            name="bulk-churn",
+        ),
+    ]

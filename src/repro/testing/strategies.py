@@ -1,0 +1,95 @@
+"""Hypothesis strategies for randomized conformance testing.
+
+Kept out of :mod:`repro.testing`'s eager imports so the production
+package never requires ``hypothesis``; property-based test modules import
+from here directly::
+
+    from repro.testing.strategies import churn_programs
+
+A *churn program* is a list of abstract steps —
+``("join",) | ("leave",) | ("rekey",) | ("tick", seconds)`` — that
+:func:`execute_program` lowers onto a harness, resolving "leave" to the
+oldest surviving member (and skipping it when nobody is left).  Programs
+therefore never fail for bookkeeping reasons; any failure is a real
+invariant violation in the scheme under test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import strategies as st
+
+from repro.testing.conformance import default_join_attributes
+from repro.testing.harness import ConformanceHarness
+
+Step = Tuple
+
+
+def churn_steps() -> st.SearchStrategy:
+    """One abstract step, weighted toward joins so groups actually grow."""
+    return st.one_of(
+        st.just(("join",)),
+        st.just(("join",)),
+        st.just(("leave",)),
+        st.just(("rekey",)),
+        st.sampled_from([("tick", 60.0), ("tick", 150.0), ("tick", 400.0)]),
+    )
+
+
+def churn_programs(
+    min_size: int = 1, max_size: int = 80
+) -> st.SearchStrategy:
+    """Lists of abstract churn steps."""
+    return st.lists(churn_steps(), min_size=min_size, max_size=max_size)
+
+
+def execute_program(
+    harness: ConformanceHarness,
+    program: List[Step],
+    *,
+    attribute_filter: Tuple[str, ...] = (),
+    resync_at_end: bool = True,
+) -> ConformanceHarness:
+    """Lower an abstract churn program onto ``harness`` and run it.
+
+    Always finishes with one final rekey (so trailing joins/leaves are
+    audited) and, when ``resync_at_end``, a full resync sweep.
+    """
+    alive: List[str] = []
+    pending_leaves: List[str] = []
+    counter = 0
+    for step in program:
+        kind = step[0]
+        if kind == "join":
+            member_id = f"h{counter}"
+            counter += 1
+            attrs = {
+                k: v
+                for k, v in default_join_attributes(member_id).items()
+                if k in attribute_filter
+            }
+            harness.join(member_id, **attrs)
+            alive.append(member_id)
+        elif kind == "leave":
+            candidates = [m for m in alive if m not in pending_leaves]
+            if not candidates:
+                continue
+            victim = candidates[0]
+            harness.leave(victim)
+            pending_leaves.append(victim)
+        elif kind == "rekey":
+            harness.rekey()
+            for member_id in pending_leaves:
+                alive.remove(member_id)
+            pending_leaves.clear()
+        elif kind == "tick":
+            harness.advance_time(step[1])
+        else:  # pragma: no cover - strategies cannot emit this
+            raise ValueError(f"unknown step {step!r}")
+    harness.rekey()
+    for member_id in pending_leaves:
+        alive.remove(member_id)
+    if resync_at_end:
+        harness.check_all_resyncs()
+    return harness

@@ -5,6 +5,8 @@ import pytest
 from repro.crypto.material import KeyGenerator
 from repro.keytree.lkh import LkhRekeyer
 from repro.keytree.tree import KeyTree
+from repro.server.onetree import OneTreeServer
+from repro.testing import ConformanceHarness
 
 
 @pytest.fixture
@@ -23,3 +25,24 @@ def tree(keygen):
 def rekeyer(tree):
     """A rekeyer bound to the ``tree`` fixture."""
     return LkhRekeyer(tree)
+
+
+@pytest.fixture
+def harness():
+    """A conformance harness around a fresh one-keytree server.
+
+    Tests that need a server already under full security audit can drive
+    this instead of wiring members by hand; any invariant breach raises
+    ``repro.testing.InvariantViolation`` at the offending rekey point.
+    """
+    return ConformanceHarness(OneTreeServer(degree=4, keygen=KeyGenerator(seed=99)))
+
+
+@pytest.fixture
+def make_harness():
+    """Factory fixture: build an audited harness around any server."""
+
+    def build(server, **kwargs):
+        return ConformanceHarness(server, **kwargs)
+
+    return build

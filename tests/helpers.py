@@ -1,8 +1,23 @@
-"""Shared helpers for the test suite."""
+"""Shared helpers for the test suite.
+
+The heavier verification machinery (security-invariant audits, scenario
+replay, the cross-scheme battery) lives in :mod:`repro.testing` — it is
+product surface, usable by downstream deployments, not test-only code.
+These helpers stay for the low-level tree/rekeyer tests that predate it.
+"""
 
 
 def populate(rekeyer, count, prefix="m"):
     """Admit ``count`` members through one batch; returns their ids."""
     members = [f"{prefix}{i}" for i in range(count)]
     rekeyer.rekey_batch(joins=[(m, None) for m in members])
+    return members
+
+
+def populate_harness(harness, count, prefix="m", **attributes):
+    """Admit ``count`` members through one audited batch; returns their ids."""
+    members = [f"{prefix}{i}" for i in range(count)]
+    for member_id in members:
+        harness.join(member_id, **attributes)
+    harness.rekey()
     return members

@@ -42,6 +42,25 @@ class TestValidate:
         assert "worst relative error" in out
 
 
+class TestSelfcheck:
+    def test_single_scheme_passes(self, capsys):
+        assert main(["selfcheck", "--scheme", "qt"]) == 0
+        out = capsys.readouterr().out
+        assert "ok   qt" in out
+        assert "scenarios" in out
+
+    def test_all_schemes_pass(self, capsys):
+        assert main(["selfcheck", "--no-structural"]) == 0
+        out = capsys.readouterr().out
+        assert "one-keytree" in out
+        assert "loss-homogenized" in out
+        assert "FAIL" not in out
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["selfcheck", "--scheme", "bogus"])
+
+
 class TestSimulate:
     def test_tt_scheme_summary(self, capsys):
         code = main(

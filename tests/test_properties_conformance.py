@@ -1,0 +1,80 @@
+"""Property-based conformance: random churn programs, full audit.
+
+Hypothesis generates arbitrary join/leave/rekey/clock-advance programs
+and the harness audits every batch at the key-material level.  Anything
+it shrinks to is a genuine protocol violation in the scheme under test,
+not a test artifact — the program executor never emits an invalid
+operation sequence.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.testing import ConformanceHarness, SCHEME_FACTORIES
+from repro.testing.strategies import churn_programs, execute_program
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(max_examples=40, **COMMON)
+@given(program=churn_programs(max_size=60))
+def test_one_keytree_survives_arbitrary_churn(program):
+    spec = SCHEME_FACTORIES["one-keytree"]
+    execute_program(
+        ConformanceHarness(spec.factory()),
+        program,
+        attribute_filter=spec.attributes,
+    )
+
+
+@settings(max_examples=25, **COMMON)
+@given(program=churn_programs(max_size=50))
+def test_owf_join_refresh_survives_arbitrary_churn(program):
+    spec = SCHEME_FACTORIES["one-keytree-owf"]
+    execute_program(
+        ConformanceHarness(spec.factory()),
+        program,
+        attribute_filter=spec.attributes,
+    )
+
+
+@pytest.mark.parametrize("name", ["qt", "tt", "pt"])
+@settings(max_examples=20, **COMMON)
+@given(program=churn_programs(max_size=50))
+def test_two_partition_survives_arbitrary_churn(name, program):
+    spec = SCHEME_FACTORIES[name]
+    execute_program(
+        ConformanceHarness(spec.factory()),
+        program,
+        attribute_filter=spec.attributes,
+    )
+
+
+@settings(max_examples=20, **COMMON)
+@given(program=churn_programs(max_size=50))
+def test_loss_homogenized_survives_arbitrary_churn(program):
+    spec = SCHEME_FACTORIES["loss-homogenized"]
+    execute_program(
+        ConformanceHarness(spec.factory()),
+        program,
+        attribute_filter=spec.attributes,
+    )
+
+
+@settings(max_examples=15, **COMMON)
+@given(program=churn_programs(max_size=40))
+def test_costs_are_conserved_across_audit(program):
+    """The harness's cost ledger equals the sum over emitted batches."""
+    spec = SCHEME_FACTORIES["tt"]
+    harness = execute_program(
+        ConformanceHarness(spec.factory()),
+        program,
+        attribute_filter=spec.attributes,
+        resync_at_end=False,
+    )
+    assert harness.total_cost() == sum(r.cost for r in harness.history)
+    assert harness.epochs == len(harness.history)
+    assert harness.history[-1].epoch == harness.epochs
