@@ -7,6 +7,7 @@ Commands
 ``selfcheck`` run the security-conformance battery over every scheme
 ``validate``  run the model-vs-simulation cross validation
 ``simulate``  run one end-to-end simulated session and summarize it
+``bench``     run the hot-path scenario matrix, emit BENCH_hotpath.json
 ``trace``     generate a synthetic MBone-style membership trace
 ``tracestats`` summarize a trace file ([AA97]-style statistics)
 """
@@ -47,6 +48,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.crypto.wrap import deferred_wraps
     from repro.testing import (
         InvariantViolation,
         run_conformance,
@@ -59,9 +61,10 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     failures = 0
     for spec in specs:
         try:
-            finished = run_conformance(
-                spec, structural_checks=not args.no_structural
-            )
+            with deferred_wraps(enabled=args.wrap_mode == "deferred"):
+                finished = run_conformance(
+                    spec, structural_checks=not args.no_structural
+                )
         except InvariantViolation as exc:
             print(f"FAIL {spec.name}: {exc}")
             failures += 1
@@ -151,6 +154,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "losshomog",
         "random-trees",
     )
+    if args.cost_only and transport is not None:
+        print("--cost-only cannot be combined with a transport", file=sys.stderr)
+        return 2
     config = SimulationConfig(
         arrival_rate=args.arrival_rate,
         rekey_period=args.period,
@@ -158,8 +164,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         duration_model=TwoClassDuration(args.short_mean, args.long_mean, args.alpha),
         loss_population=LossPopulation.two_point() if needs_population else None,
         transport=transport,
-        verify=not args.no_verify,
+        verify=not args.no_verify and not args.cost_only,
         seed=args.seed,
+        cost_only=args.cost_only,
+        deferred_wrap=args.deferred_wrap,
     )
     metrics = GroupRekeyingSimulation(server, config).run()
     skip = min(len(metrics.records) // 2, args.warmup)
@@ -171,13 +179,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"mean keys/rekeying: {metrics.mean_cost(skip=skip):.1f}")
     if transport is not None:
         print(f"wire keys total:    {metrics.total_transport_keys}")
-    if not args.no_verify:
+    if not args.no_verify and not args.cost_only:
         print(f"security checks:    {metrics.verification_checks} passed")
     breakdown = metrics.breakdown_totals()
     if breakdown:
         print("cost breakdown:     " + ", ".join(
             f"{label}={count}" for label, count in sorted(breakdown.items())
         ))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_bench
+
+    report = run_bench(out_path=args.out, quick=args.quick, progress=print)
+    print(f"wrote {args.out}")
+    worst = None
+    for scenario in report["scenarios"]:
+        if scenario["speedup"] is not None:
+            worst = (
+                scenario["speedup"]
+                if worst is None
+                else min(worst, scenario["speedup"])
+            )
+    if worst is not None:
+        print(f"worst optimized-vs-baseline speedup: {worst:.1f}x")
+    if report["peak_rss_kb"] is not None:
+        print(f"peak RSS: {report['peak_rss_kb'] / 1024:.0f} MiB")
     return 0
 
 
@@ -241,6 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip per-batch tree structure validation",
     )
+    p.add_argument(
+        "--wrap-mode",
+        choices=("eager", "deferred"),
+        default="eager",
+        help="run the battery with deferred (lazy-ciphertext) key wrapping",
+    )
     p.set_defaults(func=_cmd_selfcheck)
 
     p = sub.add_parser("validate", help="model-vs-simulation cross validation")
@@ -265,7 +299,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=int, default=10, help="rekeyings to skip in means")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-verify", action="store_true")
+    p.add_argument(
+        "--cost-only",
+        action="store_true",
+        help="skip receiver state machines; count server cost only "
+        "(implies --no-verify, incompatible with a transport)",
+    )
+    p.add_argument(
+        "--deferred-wrap",
+        action="store_true",
+        help="produce rekey payloads with lazy ciphertexts (no HMAC work "
+        "unless something reads them)",
+    )
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the hot-path benchmark matrix and emit BENCH_hotpath.json",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="CI-sized matrix (1k/10k members)"
+    )
+    p.add_argument(
+        "--out",
+        default="BENCH_hotpath.json",
+        help="where to write the JSON report",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("trace", help="generate a synthetic MBone-style trace")
     p.add_argument("output")

@@ -19,19 +19,36 @@ Public API
 :func:`unwrap_key`          recover a wrapped key (authenticated)
 :func:`encrypt` / :func:`decrypt`  generic authenticated payload encryption
 :exc:`AuthenticationError`  raised when decryption fails authentication
+:class:`WrapIndex`          positional index of a rekey payload by wrapping id
+:func:`deferred_wraps` / :func:`set_wrap_mode` / :func:`wrap_mode`
+                            cost-only mode: postpone wrap ciphertexts
 """
 
 from repro.crypto.cipher import AuthenticationError, decrypt, encrypt
 from repro.crypto.material import KeyGenerator, KeyMaterial
-from repro.crypto.wrap import EncryptedKey, unwrap_key, wrap_key
+from repro.crypto.wrap import (
+    EncryptedKey,
+    LazyEncryptedKey,
+    WrapIndex,
+    deferred_wraps,
+    set_wrap_mode,
+    unwrap_key,
+    wrap_key,
+    wrap_mode,
+)
 
 __all__ = [
     "AuthenticationError",
     "EncryptedKey",
     "KeyGenerator",
     "KeyMaterial",
+    "LazyEncryptedKey",
+    "WrapIndex",
     "decrypt",
+    "deferred_wraps",
     "encrypt",
+    "set_wrap_mode",
     "unwrap_key",
     "wrap_key",
+    "wrap_mode",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from functools import lru_cache
 
 _TAG_SIZE = 16
 _BLOCK = hashlib.sha256().digest_size
@@ -23,21 +24,39 @@ class AuthenticationError(Exception):
     """Raised when a ciphertext fails authentication (wrong key or tampered)."""
 
 
+@lru_cache(maxsize=8192)
+def _keystream_block(key: bytes, nonce: bytes, counter: int) -> bytes:
+    """One keystream block.
+
+    Cached: the server's wrap and every receiver's unwrap of the same
+    ``(key, nonce)`` pair need the identical block, and in a key tree one
+    encrypted key near the root is decrypted by a large share of the
+    group — the LRU turns those repeats into dict hits instead of HMACs.
+    """
+    return hmac.new(
+        key, nonce + counter.to_bytes(8, "big"), hashlib.sha256
+    ).digest()
+
+
 def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     """Generate ``length`` keystream bytes from ``key`` and ``nonce``."""
+    if length <= _BLOCK:
+        return _keystream_block(key, nonce, 0)[:length]
     out = bytearray()
     counter = 0
     while len(out) < length:
-        block = hmac.new(
-            key, nonce + counter.to_bytes(8, "big"), hashlib.sha256
-        ).digest()
-        out.extend(block)
+        out.extend(_keystream_block(key, nonce, counter))
         counter += 1
     return bytes(out[:length])
 
 
+@lru_cache(maxsize=8192)
 def _subkeys(key: bytes) -> tuple:
-    """Derive independent encryption and MAC keys from ``key``."""
+    """Derive independent encryption and MAC keys from ``key``.
+
+    Cached: keys are immutable bytes, and each tree key participates in
+    many wrap/unwrap operations per rekeying (two HMACs saved per hit).
+    """
     enc = hmac.new(key, b"repro-enc", hashlib.sha256).digest()
     mac = hmac.new(key, b"repro-mac", hashlib.sha256).digest()
     return enc, mac

@@ -5,14 +5,32 @@ A rekey message in any LKH-family protocol is a collection of *wrapped keys*:
 already held by some subset of the members.  :class:`EncryptedKey` is the
 unit the transport layer packs into packets and the unit every cost metric
 in the paper counts.
+
+Two performance facilities live here because they are properties of the
+wrapped-key unit itself:
+
+* **deferred wrapping** — the paper's cost metric is the *count* of
+  encrypted keys, so analytic experiments and cost-only simulations never
+  look at ciphertext bytes.  Under :func:`deferred_wraps` (or
+  :func:`set_wrap_mode`), :func:`wrap_key` returns a
+  :class:`LazyEncryptedKey` that captures the key material and computes
+  the ciphertext only on first access, skipping all HMAC work for runs
+  that never deliver to real members.
+* **:class:`WrapIndex`** — a ``wrapping_id -> [(position, key)]`` index over
+  a rekey payload.  Receivers hold O(tree depth) keys, so indexed lookup
+  makes per-receiver delivery work O(depth) instead of a linear scan over
+  the whole message (the sparseness property of Section 2.2, realized).
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.crypto.cipher import decrypt, encrypt
 from repro.crypto.material import KEY_SIZE, KeyMaterial
+from repro.perf.instrumentation import count as perf_count
 
 
 def _nonce(wrapping: KeyMaterial, payload_id: str, payload_version: int) -> bytes:
@@ -58,8 +76,118 @@ class EncryptedKey:
         return (self.payload_id, self.payload_version)
 
 
+class LazyEncryptedKey(EncryptedKey):
+    """An :class:`EncryptedKey` whose ciphertext materializes on demand.
+
+    Produced by :func:`wrap_key` in deferred mode.  Identity fields
+    (wrapping/payload handles) are set eagerly — they are what cost
+    metrics, indexing, and packet planning consume — while the HMAC work
+    of actual encryption happens only if something reads ``ciphertext``
+    (a member unwrap, the wire codec, equality against an eager key).
+
+    Holding the key material inside the object is fine in this codebase:
+    wraps are produced by the simulated key server, which holds every key
+    anyway; nothing here crosses a trust boundary.
+    """
+
+    def __init__(self, wrapping: KeyMaterial, payload: KeyMaterial) -> None:
+        # Bypass the frozen-dataclass __setattr__ wholesale: wrap creation
+        # is the per-encrypted-key cost of every cost-only batch, and one
+        # dict update is several times cheaper than seven object.__setattr__
+        # calls.
+        self.__dict__.update(
+            wrapping_id=wrapping.key_id,
+            wrapping_version=wrapping.version,
+            payload_id=payload.key_id,
+            payload_version=payload.version,
+            _wrapping=wrapping,
+            _payload=payload,
+            _ciphertext=None,
+        )
+
+    @property
+    def ciphertext(self) -> bytes:  # type: ignore[override]
+        blob = self._ciphertext
+        if blob is None:
+            nonce = _nonce(self._wrapping, self.payload_id, self.payload_version)
+            blob = encrypt(self._wrapping.secret, nonce, self._payload.secret)
+            object.__setattr__(self, "_ciphertext", blob)
+        return blob
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the ciphertext has been computed yet."""
+        return self._ciphertext is not None
+
+    # The generated dataclass __eq__/__hash__ refuse mixed-class
+    # comparison; delivery tests compare deferred wraps against eager
+    # ones, so compare by field content (materializing if needed).
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EncryptedKey):
+            return NotImplemented
+        return (
+            self.wrapping_id == other.wrapping_id
+            and self.wrapping_version == other.wrapping_version
+            and self.payload_id == other.payload_id
+            and self.payload_version == other.payload_version
+            and self.ciphertext == other.ciphertext
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.wrapping_id,
+                self.wrapping_version,
+                self.payload_id,
+                self.payload_version,
+                self.ciphertext,
+            )
+        )
+
+
+_WRAP_MODES = ("eager", "deferred")
+_wrap_mode = "eager"
+
+
+def wrap_mode() -> str:
+    """The active wrap mode: ``"eager"`` or ``"deferred"``."""
+    return _wrap_mode
+
+
+def set_wrap_mode(mode: str) -> str:
+    """Set the process-wide wrap mode; returns the previous mode.
+
+    ``"eager"`` (default) computes ciphertexts inside :func:`wrap_key`;
+    ``"deferred"`` returns :class:`LazyEncryptedKey` records that encrypt
+    on first ciphertext access.  Prefer the :func:`deferred_wraps`
+    context manager, which restores the previous mode.
+    """
+    global _wrap_mode
+    if mode not in _WRAP_MODES:
+        raise ValueError(f"wrap mode must be one of {_WRAP_MODES}, got {mode!r}")
+    previous = _wrap_mode
+    _wrap_mode = mode
+    return previous
+
+
+@contextmanager
+def deferred_wraps(enabled: bool = True) -> Iterator[None]:
+    """Run the body with deferred (or, with ``enabled=False``, eager) wraps."""
+    previous = set_wrap_mode("deferred" if enabled else "eager")
+    try:
+        yield
+    finally:
+        set_wrap_mode(previous)
+
+
 def wrap_key(wrapping: KeyMaterial, payload: KeyMaterial) -> EncryptedKey:
-    """Encrypt ``payload`` under ``wrapping``."""
+    """Encrypt ``payload`` under ``wrapping``.
+
+    In deferred mode (see :func:`set_wrap_mode`) the returned record
+    postpones the actual encryption until its ciphertext is first read.
+    """
+    if _wrap_mode == "deferred":
+        return LazyEncryptedKey(wrapping, payload)
     nonce = _nonce(wrapping, payload.key_id, payload.version)
     ciphertext = encrypt(wrapping.secret, nonce, payload.secret)
     return EncryptedKey(
@@ -94,3 +222,83 @@ def unwrap_key(wrapping: KeyMaterial, encrypted: EncryptedKey) -> KeyMaterial:
         version=encrypted.payload_version,
         secret=secret,
     )
+
+
+class WrapIndex:
+    """Position-preserving index of a rekey payload by wrapping key id.
+
+    Built once per payload (a :class:`~repro.keytree.lkh.RekeyMessage` or
+    :class:`~repro.server.base.BatchResult` caches one) and shared by every
+    receiver: a member holding ``H`` keys resolves its deliverable subset
+    in O(H · b) dict lookups — ``b`` being the per-key bucket size, bounded
+    by the tree degree — instead of scanning the whole message.  Positions
+    are kept so results can be returned in exact message order.
+    """
+
+    def __init__(self, keys: Sequence[EncryptedKey]) -> None:
+        buckets: Dict[str, List[Tuple[int, EncryptedKey]]] = {}
+        for position, ek in enumerate(keys):
+            buckets.setdefault(ek.wrapping_id, []).append((position, ek))
+        self._buckets = buckets
+        self.size = len(keys)
+
+    _EMPTY: Tuple[Tuple[int, EncryptedKey], ...] = ()
+
+    def wraps_under(self, key_id: str) -> Sequence[Tuple[int, EncryptedKey]]:
+        """All ``(position, key)`` wraps encrypted under ``key_id``."""
+        return self._buckets.get(key_id, self._EMPTY)
+
+    def direct_matches(
+        self, held: Dict[str, int]
+    ) -> List[Tuple[int, EncryptedKey]]:
+        """Wraps directly openable with ``held`` keys, in message order.
+
+        Equivalent to filtering the payload linearly on
+        ``held[wrapping_id] == wrapping_version``, but touches only the
+        buckets of held key ids.
+        """
+        matches: List[Tuple[int, EncryptedKey]] = []
+        examined = 0
+        for key_id, version in held.items():
+            bucket = self._buckets.get(key_id, self._EMPTY)
+            examined += len(bucket)
+            for position, ek in bucket:
+                if ek.wrapping_version == version:
+                    matches.append((position, ek))
+        if examined:
+            perf_count("wrapindex.examined", examined)
+        matches.sort()
+        return matches
+
+    def closure(self, versions: Dict[str, int]) -> List[Tuple[int, EncryptedKey]]:
+        """Fixed-point reachable wraps for a holder of ``versions``.
+
+        A wrap is reachable if openable with a held key or with a payload
+        learned from another reachable wrap of the same message (rekey
+        messages chain fresh parents onto fresh children).  ``versions``
+        is not mutated.  Results come back sorted by message position;
+        total work is proportional to the wraps actually examined — O(tree
+        depth) per receiver — not to the message size.
+        """
+        reachable = dict(versions)
+        frontier = list(reachable)
+        out: List[Tuple[int, EncryptedKey]] = []
+        examined = 0
+        while frontier:
+            key_id = frontier.pop()
+            version = reachable.get(key_id)
+            for position, ek in self._buckets.get(key_id, self._EMPTY):
+                examined += 1
+                if ek.wrapping_version != version:
+                    continue
+                if reachable.get(ek.payload_id, -1) >= ek.payload_version:
+                    continue
+                reachable[ek.payload_id] = ek.payload_version
+                out.append((position, ek))
+                # The learned payload may unlock further wraps; its id may
+                # also be a *stale* entry processed earlier — re-queue it.
+                frontier.append(ek.payload_id)
+        if examined:
+            perf_count("wrapindex.examined", examined)
+        out.sort()
+        return out

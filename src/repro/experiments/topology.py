@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.crypto.material import KeyGenerator
+from repro.crypto.wrap import deferred_wraps
 from repro.keytree.lkh import LkhRekeyer
 from repro.keytree.tree import KeyTree
 from repro.network.topology import MulticastTopology
@@ -60,6 +61,20 @@ def _run_placement(
     else:
         raise ValueError("placement must be 'clustered' or 'random'")
 
+    # Cost-only experiment: nothing ever decrypts these wraps, so defer
+    # the ciphertexts and skip the HMAC work entirely.
+    with deferred_wraps():
+        return _run_placement_costed(placement, topology, order, departures, degree, seed)
+
+
+def _run_placement_costed(
+    placement: str,
+    topology: MulticastTopology,
+    order: Sequence[str],
+    departures: Sequence[str],
+    degree: int,
+    seed: int,
+) -> TopologyGainResult:
     tree = KeyTree(degree=degree, keygen=KeyGenerator(seed), name=f"topo-{placement}")
     rekeyer = LkhRekeyer(tree)
     rekeyer.rekey_batch(joins=[(r, None) for r in order])

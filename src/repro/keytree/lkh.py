@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.material import KeyGenerator, KeyMaterial
-from repro.crypto.wrap import EncryptedKey, wrap_key
+from repro.crypto.wrap import EncryptedKey, WrapIndex, wrap_key
 from repro.keytree.node import Node
 from repro.keytree.tree import KeyTree
 
@@ -53,24 +53,42 @@ class RekeyMessage:
     advanced: List[Tuple[str, int]] = field(default_factory=list)
     departed: List[str] = field(default_factory=list)
     joined: List[str] = field(default_factory=list)
+    #: Lazily built positional index over ``encrypted_keys``; excluded
+    #: from equality/repr because it is pure derived state.
+    _index: Optional[WrapIndex] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def cost(self) -> int:
         """Number of encrypted keys in the message."""
         return len(self.encrypted_keys)
 
+    def index(self) -> WrapIndex:
+        """The ``wrapping_id -> [(position, key)]`` index of this payload.
+
+        Built once on first use and shared by every receiver the message
+        is delivered to — the heart of the O(depth)-per-member delivery
+        path.  Rebuilt automatically if keys were appended since the last
+        build (rekeyers construct messages incrementally).
+        """
+        index = self._index
+        if index is None or index.size != len(self.encrypted_keys):
+            index = WrapIndex(self.encrypted_keys)
+            self._index = index
+        return index
+
     def interest_of(self, held: Dict[str, int]) -> List[EncryptedKey]:
         """The subset of this message a holder of ``held`` keys can use.
 
         ``held`` maps key_id -> version.  Used by transports to exploit the
         *sparseness property* (Section 2.2): a receiver only needs packets
-        containing keys wrapped for it.
+        containing keys wrapped for it.  Answered from the shared
+        positional index in O(|held|) bucket lookups — per-receiver work
+        proportional to its tree depth, not to the message size — and
+        returned in exact message order.
         """
-        return [
-            ek
-            for ek in self.encrypted_keys
-            if held.get(ek.wrapping_id) == ek.wrapping_version
-        ]
+        return [ek for _, ek in self.index().direct_matches(held)]
 
 
 class LkhRekeyer:
@@ -203,6 +221,13 @@ class LkhRekeyer:
         for member_id, key in joins:
             leaf = self.tree.add_member(member_id, key)
             for node in leaf.path_to_root()[1:]:
+                if node.node_id in marked:
+                    # Every earlier marking covered its whole remaining
+                    # path to the root, so this node's ancestors are
+                    # already marked too — stop walking.  Turns mass-join
+                    # marking from O(joins · depth) into roughly
+                    # O(marked nodes).
+                    break
                 marked[node.node_id] = node
             message.joined.append(member_id)
 

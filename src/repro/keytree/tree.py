@@ -29,6 +29,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.crypto.material import KeyGenerator, KeyMaterial
 from repro.keytree.node import Node
+from repro.perf.instrumentation import count as perf_count
 
 
 class KeyTree:
@@ -164,6 +165,7 @@ class KeyTree:
         self._attach_leaf(leaf)
         self._nodes[leaf.node_id] = leaf
         self._member_leaf[member_id] = leaf
+        perf_count("keytree.add_member")
         return leaf
 
     def _attach_leaf(self, leaf: Node) -> None:
@@ -278,6 +280,7 @@ class KeyTree:
             self._note_candidates(parent)
             survivors = parent.path_to_root()
 
+        perf_count("keytree.remove_member")
         return survivors
 
     # ------------------------------------------------------------------

@@ -18,8 +18,9 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.crypto.cipher import AuthenticationError, decrypt
 from repro.crypto.material import KeyMaterial
-from repro.crypto.wrap import EncryptedKey, unwrap_key
+from repro.crypto.wrap import EncryptedKey, WrapIndex, unwrap_key
 from repro.keytree.lkh import RekeyMessage
+from repro.perf.instrumentation import count as perf_count
 
 
 class Member:
@@ -89,26 +90,51 @@ class Member:
             return
         self._keys[key.key_id] = key
 
-    def absorb(self, encrypted_keys: Iterable[EncryptedKey]) -> List[KeyMaterial]:
+    def absorb(
+        self,
+        encrypted_keys: Iterable[EncryptedKey],
+        index: Optional[WrapIndex] = None,
+    ) -> List[KeyMaterial]:
         """Unwrap everything reachable from the currently held keys.
 
-        Runs a fixed-point scan: keys learned in one pass can unlock wraps
-        seen in an earlier pass (rekey messages wrap a parent's fresh key
-        under a child's fresh key, so decryption proceeds bottom-up without
-        the member knowing the tree shape).
+        Runs a single indexed bottom-up pass: starting from the held key
+        ids, each newly learned payload key is pushed back onto the work
+        list so wraps chained off it (rekey messages wrap a parent's fresh
+        key under a child's fresh key) unwrap in turn — without the member
+        knowing the tree shape, and without ever scanning wraps addressed
+        to other receivers.  Per-message work is O(tree depth), not
+        O(message size).
+
+        Parameters
+        ----------
+        encrypted_keys:
+            The rekey payload (or any subset of one).
+        index:
+            A prebuilt :class:`~repro.crypto.wrap.WrapIndex` over exactly
+            ``encrypted_keys``.  Callers delivering one payload to many
+            members (the simulator, the conformance harness) pass the
+            message's shared index so it is built once per message instead
+            of once per member.
 
         Returns the keys newly learned, in the order learned.
         """
-        pending = list(encrypted_keys)
+        if index is None:
+            index = WrapIndex(
+                encrypted_keys
+                if isinstance(encrypted_keys, (list, tuple))
+                else list(encrypted_keys)
+            )
         learned: List[KeyMaterial] = []
-        progress = True
-        while progress and pending:
-            progress = False
-            remaining: List[EncryptedKey] = []
-            for ek in pending:
-                wrapping = self._keys.get(ek.wrapping_id)
-                if wrapping is None or wrapping.version != ek.wrapping_version:
-                    remaining.append(ek)
+        examined = 0
+        frontier = list(self._keys)
+        while frontier:
+            key_id = frontier.pop()
+            wrapping = self._keys.get(key_id)
+            if wrapping is None:
+                continue
+            for _, ek in index.wraps_under(key_id):
+                examined += 1
+                if ek.wrapping_version != wrapping.version:
                     continue
                 current = self._keys.get(ek.payload_id)
                 if current is not None and current.version >= ek.payload_version:
@@ -116,12 +142,16 @@ class Member:
                 try:
                     payload = unwrap_key(wrapping, ek)
                 except (AuthenticationError, ValueError):
-                    remaining.append(ek)
                     continue
                 self._keys[payload.key_id] = payload
                 learned.append(payload)
-                progress = True
-            pending = remaining
+                # The learned key may itself wrap further keys — and may
+                # upgrade a version we already tried under — so requeue it.
+                frontier.append(payload.key_id)
+        if examined:
+            perf_count("member.wraps_examined", examined)
+        if learned:
+            perf_count("member.keys_learned", len(learned))
         return learned
 
     def apply_advances(self, advanced) -> List[KeyMaterial]:
@@ -147,36 +177,34 @@ class Member:
         """Absorb a full rekey broadcast; returns the keys newly learned.
 
         One-way advances apply first (they are free and may unlock wraps
-        expressed against the advanced versions), then the wrapped keys.
+        expressed against the advanced versions), then the wrapped keys —
+        resolved through the message's shared positional index, so many
+        members processing the same broadcast build it only once.
         """
         learned = self.apply_advances(message.advanced)
-        learned.extend(self.absorb(message.encrypted_keys))
+        learned.extend(self.absorb(message.encrypted_keys, index=message.index()))
         return learned
 
-    def useful_subset(self, encrypted_keys: Iterable[EncryptedKey]) -> List[EncryptedKey]:
+    def useful_subset(
+        self,
+        encrypted_keys: Iterable[EncryptedKey],
+        index: Optional[WrapIndex] = None,
+    ) -> List[EncryptedKey]:
         """The wraps this member could use, by fixed-point reachability.
 
         Unlike :meth:`absorb` this does **not** mutate state; it simulates
         which records matter to this receiver, which is what a NACK-based
         transport needs to know when deciding per-receiver interest.
+        Results come back in message order; pass the payload's shared
+        ``index`` when querying many members about one message.
         """
-        versions = self.held_versions()
-        pending = list(encrypted_keys)
-        useful: List[EncryptedKey] = []
-        progress = True
-        while progress and pending:
-            progress = False
-            remaining = []
-            for ek in pending:
-                if versions.get(ek.wrapping_id) == ek.wrapping_version:
-                    if versions.get(ek.payload_id, -1) < ek.payload_version:
-                        versions[ek.payload_id] = ek.payload_version
-                        useful.append(ek)
-                        progress = True
-                else:
-                    remaining.append(ek)
-            pending = remaining
-        return useful
+        if index is None:
+            index = WrapIndex(
+                encrypted_keys
+                if isinstance(encrypted_keys, (list, tuple))
+                else list(encrypted_keys)
+            )
+        return [ek for _, ek in index.closure(self.held_versions())]
 
     def drop_keys(self, key_ids: Iterable[str]) -> None:
         """Forget keys (e.g. partition-local keys after a migration)."""

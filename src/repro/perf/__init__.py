@@ -1,0 +1,33 @@
+"""Performance instrumentation and the hot-path benchmark harness.
+
+Two pieces:
+
+* :mod:`repro.perf.instrumentation` — a near-zero-overhead ``Counter`` /
+  ``Timer`` layer the hot paths (server rekeying, key-tree mutation,
+  rekey-message indexing, transport packing) report into whenever a
+  :class:`PerfRecorder` is activated.  With no recorder active every probe
+  is a single global ``is None`` check, so production paths pay nothing.
+* :mod:`repro.perf.bench` — the standard scenario matrix behind
+  ``python -m repro bench``; emits ``BENCH_hotpath.json`` so successive
+  PRs can diff ops/sec, per-phase wall-clock, and peak RSS.
+"""
+
+from repro.perf.instrumentation import (
+    Counter,
+    PerfRecorder,
+    Timer,
+    active_recorder,
+    count,
+    recording,
+    timed,
+)
+
+__all__ = [
+    "Counter",
+    "PerfRecorder",
+    "Timer",
+    "active_recorder",
+    "count",
+    "recording",
+    "timed",
+]

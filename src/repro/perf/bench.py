@@ -1,0 +1,321 @@
+"""The hot-path benchmark matrix behind ``python -m repro bench``.
+
+Runs a standard set of large-group rekeying scenarios against the
+one-keytree server and emits ``BENCH_hotpath.json``: per-phase wall-clock,
+ops/sec, op counters, and peak RSS.  Cost-only scenarios also rerun the
+same workload along the *pre-optimization* path — eager wrapping plus the
+naive O(N·|message|) per-receiver delivery scan — and record the measured
+speedup, so the file doubles as a regression baseline future PRs diff
+against.
+
+Scenario phases
+---------------
+``build``
+    Admit all N members and process them as one batch rekeying.
+``rekey``
+    ``rounds`` churn batches: ``churn`` departures + ``churn`` joins each.
+``deliver``
+    Cost-only: resolve per-receiver interest (the fixed-point closure of
+    Section 2.2's sparseness property) for ``sample_receivers`` members
+    per round.  Full-crypto: every member absorbs (really decrypts) every
+    round's payload.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import random
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.wrap import deferred_wraps
+from repro.members.member import Member
+from repro.perf.instrumentation import PerfRecorder, recording
+from repro.server.onetree import OneTreeServer
+
+COST_ONLY = "cost-only"
+FULL_CRYPTO = "full-crypto"
+
+BENCH_FILENAME = "BENCH_hotpath.json"
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Peak resident set size in KiB (None where resource is unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        usage //= 1024
+    return int(usage)
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One cell of the benchmark matrix."""
+
+    name: str
+    members: int
+    mode: str  # COST_ONLY or FULL_CRYPTO
+    rounds: int
+    churn: int
+    sample_receivers: int
+    #: Also run the pre-optimization path and record the speedup.
+    compare_baseline: bool = False
+    degree: int = 4
+    seed: int = 7
+
+
+def standard_scenarios() -> List[BenchScenario]:
+    """The full matrix: cost-only up to 1M members, full-crypto to 10k."""
+    return [
+        BenchScenario("cost-only-1k", 1_000, COST_ONLY, 5, 16, 500, True),
+        BenchScenario("cost-only-10k", 10_000, COST_ONLY, 5, 32, 1_000, True),
+        BenchScenario("cost-only-100k", 100_000, COST_ONLY, 5, 64, 16_000, True),
+        BenchScenario("cost-only-1m", 1_000_000, COST_ONLY, 3, 64, 1_000, False),
+        BenchScenario("full-crypto-1k", 1_000, FULL_CRYPTO, 5, 16, 0),
+        BenchScenario("full-crypto-10k", 10_000, FULL_CRYPTO, 3, 32, 0),
+    ]
+
+
+def quick_scenarios() -> List[BenchScenario]:
+    """CI-sized subset (still exercises both modes and the baseline diff)."""
+    return [
+        BenchScenario("cost-only-1k", 1_000, COST_ONLY, 5, 16, 500, True),
+        BenchScenario("cost-only-10k", 10_000, COST_ONLY, 3, 32, 1_000, True),
+        BenchScenario("full-crypto-1k", 1_000, FULL_CRYPTO, 3, 16, 0),
+    ]
+
+
+def _held_versions_of(server: OneTreeServer, member_id: str) -> Dict[str, int]:
+    """What ``member_id`` holds right now, from the authoritative tree."""
+    held = {
+        node.key.key_id: node.key.version
+        for node in server.tree.path_of(member_id)
+    }
+    return held
+
+
+def _naive_interest(keys: Sequence, held: Dict[str, int]) -> set:
+    """The pre-optimization per-receiver delivery scan (kept verbatim as
+    the measured baseline): repeated linear passes over the whole payload
+    until the fixed point — O(|message|) per receiver per pass."""
+    versions = dict(held)
+    wanted: set = set()
+    progress = True
+    while progress:
+        progress = False
+        for position, ek in enumerate(keys):
+            if position in wanted:
+                continue
+            if versions.get(ek.wrapping_id) == ek.wrapping_version and (
+                versions.get(ek.payload_id, -1) < ek.payload_version
+            ):
+                wanted.add(position)
+                versions[ek.payload_id] = ek.payload_version
+                progress = True
+    return wanted
+
+
+def _run_variant(scenario: BenchScenario, optimized: bool) -> Dict[str, object]:
+    """Run one scenario along the optimized or the baseline path."""
+    rng = random.Random(scenario.seed)
+    recorder = PerfRecorder()
+    deferred = optimized  # baseline pays eager wrapping, as pre-PR code did
+    full_crypto = scenario.mode == FULL_CRYPTO
+    receivers: Dict[str, Member] = {}
+    total_batch_cost = 0
+
+    with recording(recorder), deferred_wraps(enabled=deferred):
+        server = OneTreeServer(degree=scenario.degree, group=scenario.name)
+        with recorder.timeit("build"):
+            member_ids = [f"m{i}" for i in range(scenario.members)]
+            registrations = {
+                member_id: server.join(member_id) for member_id in member_ids
+            }
+            build_result = server.rekey()
+            if full_crypto:
+                for member_id, registration in registrations.items():
+                    receivers[member_id] = Member(
+                        member_id, registration.individual_key
+                    )
+                index = build_result.index()
+                for member in receivers.values():
+                    member.absorb(build_result.encrypted_keys, index=index)
+        del build_result, registrations
+
+        for round_no in range(scenario.rounds):
+            victims = rng.sample(member_ids, scenario.churn)
+            victim_set = set(victims)
+            member_ids = [m for m in member_ids if m not in victim_set]
+            joiners = [f"j{round_no}_{i}" for i in range(scenario.churn)]
+
+            # Interest is defined against pre-rekey holdings; snapshot the
+            # sampled survivors' key state before the batch is processed.
+            sampled_held = {}
+            if not full_crypto and scenario.sample_receivers:
+                sampled = rng.sample(
+                    member_ids, min(scenario.sample_receivers, len(member_ids))
+                )
+                sampled_held = {
+                    member_id: _held_versions_of(server, member_id)
+                    for member_id in sampled
+                }
+
+            with recorder.timeit("rekey"):
+                for member_id in victims:
+                    server.leave(member_id)
+                joined_regs = {m: server.join(m) for m in joiners}
+                result = server.rekey()
+            member_ids.extend(joiners)
+            total_batch_cost += result.cost
+
+            with recorder.timeit("deliver"):
+                if full_crypto:
+                    for member_id in victims:
+                        receivers.pop(member_id, None)
+                    for member_id, registration in joined_regs.items():
+                        receivers[member_id] = Member(
+                            member_id, registration.individual_key
+                        )
+                    index = result.index()
+                    for member in receivers.values():
+                        member.absorb(result.encrypted_keys, index=index)
+                elif optimized:
+                    index = result.index()
+                    for held in sampled_held.values():
+                        index.closure(held)
+                else:
+                    for held in sampled_held.values():
+                        _naive_interest(result.encrypted_keys, held)
+            del result
+
+        if full_crypto:
+            # Sanity: every receiver really ended on the current group key.
+            dek = server.group_key()
+            for member in receivers.values():
+                if not member.holds(dek.key_id, dek.version):
+                    raise AssertionError(
+                        f"receiver {member.member_id} missed the group key"
+                    )
+
+    phases = {
+        f"{name}_s": round(timer.total, 6)
+        for name, timer in recorder.timers.items()
+    }
+    # Scenario wall-clock is the three top-level phases; other timers
+    # (e.g. the server-internal "server.rekey") nest inside them and are
+    # reported for breakdown only.
+    total_s = sum(
+        recorder.timer_total(name) for name in ("build", "rekey", "deliver")
+    )
+    build_s = recorder.timer_total("build")
+    deliver_s = recorder.timer_total("deliver")
+    deliveries = (
+        len(receivers) * scenario.rounds
+        if full_crypto
+        else scenario.sample_receivers * scenario.rounds
+    )
+    ops_per_sec = {
+        "joins_build": round(scenario.members / build_s, 1) if build_s else None,
+        "rekeys": (
+            round(scenario.rounds / recorder.timer_total("rekey"), 2)
+            if recorder.timer_total("rekey")
+            else None
+        ),
+        "deliveries": (
+            round(deliveries / deliver_s, 1) if deliver_s and deliveries else None
+        ),
+    }
+    return {
+        "total_s": round(total_s, 6),
+        "phases": phases,
+        "ops_per_sec": ops_per_sec,
+        "mean_batch_cost": (
+            round(total_batch_cost / scenario.rounds, 1) if scenario.rounds else 0
+        ),
+        "counters": {
+            name: counter.value for name, counter in recorder.counters.items()
+        },
+    }
+
+
+def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
+    """Run one scenario (optimized, plus baseline when configured)."""
+    optimized = _run_variant(scenario, optimized=True)
+    gc.collect()
+    baseline = None
+    if scenario.compare_baseline:
+        baseline = _run_variant(scenario, optimized=False)
+        gc.collect()
+    speedup = None
+    if baseline is not None and optimized["total_s"]:
+        speedup = round(baseline["total_s"] / optimized["total_s"], 2)
+    return {
+        "name": scenario.name,
+        "members": scenario.members,
+        "mode": scenario.mode,
+        "rounds": scenario.rounds,
+        "churn": scenario.churn,
+        "sample_receivers": scenario.sample_receivers,
+        "optimized": optimized,
+        "baseline": baseline,
+        "speedup": speedup,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_bench(
+    scenarios: Optional[Sequence[BenchScenario]] = None,
+    out_path: Optional[str] = None,
+    quick: bool = False,
+    progress=None,
+) -> Dict[str, object]:
+    """Run the matrix and (optionally) write ``BENCH_hotpath.json``.
+
+    Parameters
+    ----------
+    scenarios:
+        Explicit matrix; defaults to :func:`standard_scenarios` (or
+        :func:`quick_scenarios` with ``quick=True``).
+    out_path:
+        Where to write the JSON report; None skips writing.
+    progress:
+        Optional ``callable(str)`` invoked with one line per scenario.
+    """
+    if scenarios is None:
+        scenarios = quick_scenarios() if quick else standard_scenarios()
+    results = []
+    for scenario in scenarios:
+        result = run_scenario(scenario)
+        results.append(result)
+        if progress is not None:
+            opt = result["optimized"]
+            line = (
+                f"{scenario.name}: {opt['total_s']:.2f}s"
+                f" (build {opt['phases'].get('build_s', 0):.2f}s)"
+            )
+            if result["speedup"] is not None:
+                line += (
+                    f", baseline {result['baseline']['total_s']:.2f}s"
+                    f" -> {result['speedup']:.1f}x speedup"
+                )
+            progress(line)
+    report = {
+        "version": 1,
+        "suite": "hotpath",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "scenarios": results,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report

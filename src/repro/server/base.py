@@ -11,7 +11,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.crypto.material import KeyGenerator, KeyMaterial
-from repro.crypto.wrap import EncryptedKey
+from repro.crypto.wrap import EncryptedKey, WrapIndex
+from repro.perf.instrumentation import count as perf_count, timed as perf_timed
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,8 @@ class BatchResult:
     departed: List[str] = field(default_factory=list)
     migrated: List[str] = field(default_factory=list)
     breakdown: Dict[str, int] = field(default_factory=dict)
+    #: Lazily built positional index over ``encrypted_keys`` (derived state).
+    _index: Optional[WrapIndex] = field(default=None, repr=False, compare=False)
 
     @property
     def cost(self) -> int:
@@ -51,6 +54,18 @@ class BatchResult:
         """Append a component's keys and record its share in the breakdown."""
         self.encrypted_keys.extend(keys)
         self.breakdown[label] = self.breakdown.get(label, 0) + len(keys)
+
+    def index(self) -> WrapIndex:
+        """Shared ``wrapping_id -> [(position, key)]`` index of the payload.
+
+        Built on first use (and rebuilt if more keys were appended since),
+        then reused by every receiver this batch is delivered to.
+        """
+        index = self._index
+        if index is None or index.size != len(self.encrypted_keys):
+            index = WrapIndex(self.encrypted_keys)
+            self._index = index
+        return index
 
 
 class GroupKeyServer:
@@ -135,7 +150,15 @@ class GroupKeyServer:
             del self._members[member_id]
         result.joined = [r.member_id for r in joins]
         result.departed = leaves
-        self._process_batch(result, joins, leaves, now)
+        with perf_timed("server.rekey"):
+            self._process_batch(result, joins, leaves, now)
+        perf_count("server.rekeys")
+        if joins:
+            perf_count("server.joins", len(joins))
+        if leaves:
+            perf_count("server.departures", len(leaves))
+        if result.encrypted_keys:
+            perf_count("server.encrypted_keys", len(result.encrypted_keys))
         return result
 
     # ------------------------------------------------------------------

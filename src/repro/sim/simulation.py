@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.crypto.wrap import deferred_wraps
 from repro.members.durations import TwoClassDuration
 from repro.members.member import Member
 from repro.members.population import LossPopulation
@@ -54,6 +55,16 @@ class SimulationConfig:
         checks.
     seed:
         Workload RNG seed (the channel RNG derives from it).
+    cost_only:
+        Skip receiver state machines entirely: no :class:`Member` objects,
+        no absorbing, only server-side costs are collected.  The regime of
+        the paper's analytic results (cost = number of encrypted keys),
+        and the fast path for very large groups.  Incompatible with
+        ``transport`` and ``verify`` (both need real receivers).
+    deferred_wrap:
+        Produce rekey payloads as deferred wraps (ciphertext computed only
+        if something reads it — see :func:`repro.crypto.wrap.wrap_key`).
+        Skips all HMAC work in cost-only runs.
     """
 
     arrival_rate: float = 1.0
@@ -65,6 +76,17 @@ class SimulationConfig:
     verify: bool = True
     departed_sample: int = 32
     seed: int = 0
+    cost_only: bool = False
+    deferred_wrap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cost_only and self.transport is not None:
+            raise ValueError("cost_only runs cannot attach a transport")
+        if self.cost_only and self.verify:
+            raise ValueError(
+                "cost_only runs cannot verify member key state; "
+                "pass verify=False"
+            )
 
 
 class GroupRekeyingSimulation:
@@ -96,7 +118,8 @@ class GroupRekeyingSimulation:
         self.loop = EventLoop()
         self.rng = random.Random(self.config.seed)
         self.channel: MulticastChannel = MulticastChannel(seed=self.config.seed + 1)
-        self.members: Dict[str, Member] = {}
+        #: member_id -> state machine (None per member in cost-only runs).
+        self.members: Dict[str, Optional[Member]] = {}
         self.member_class: Dict[str, str] = {}
         self.member_loss: Dict[str, float] = {}
         self.departed: List[Member] = []
@@ -133,7 +156,11 @@ class GroupRekeyingSimulation:
             attributes = self._default_join_attributes(member_class, loss_rate)
 
         registration = self.server.join(member_id, at_time=now, **attributes)
-        member = Member(member_id, registration.individual_key)
+        member = (
+            None
+            if self.config.cost_only
+            else Member(member_id, registration.individual_key)
+        )
         self.members[member_id] = member
         self.member_class[member_id] = member_class
         self.member_loss[member_id] = loss_rate
@@ -144,16 +171,17 @@ class GroupRekeyingSimulation:
         )
 
     def _depart(self, member_id: str) -> None:
-        member = self.members.pop(member_id, None)
-        if member is None:
+        if member_id not in self.members:
             return
+        member = self.members.pop(member_id)
         self.server.leave(member_id, at_time=self.loop.now)
         self.channel.unsubscribe(member_id)
         self.member_class.pop(member_id, None)
         self.member_loss.pop(member_id, None)
-        self.departed.append(member)
-        if len(self.departed) > self.config.departed_sample:
-            self.departed.pop(0)
+        if member is not None:
+            self.departed.append(member)
+            if len(self.departed) > self.config.departed_sample:
+                self.departed.pop(0)
 
     # ------------------------------------------------------------------
     # rekeying
@@ -161,27 +189,34 @@ class GroupRekeyingSimulation:
 
     def _rekey(self) -> None:
         now = self.loop.now
-        result = self.server.rekey(now=now)
+        if self.config.deferred_wrap:
+            with deferred_wraps():
+                result = self.server.rekey(now=now)
+        else:
+            result = self.server.rekey(now=now)
         transport_keys = transport_packets = transport_rounds = 0
-        if result.advanced:
-            # ELK/LKH+ one-way advances: every member computes locally.
-            for member in self.members.values():
-                member.apply_advances(result.advanced)
-        if result.encrypted_keys:
-            if self.config.transport is not None:
-                task = self._build_task(result)
-                outcome = self.config.transport.run(task, self.channel)
-                if not outcome.satisfied:
-                    raise RuntimeError(
-                        f"transport failed to satisfy all receivers at t={now}"
-                    )
-                transport_keys = outcome.keys_sent
-                transport_packets = outcome.packets_sent
-                transport_rounds = outcome.rounds
-            # Members absorb the payload (delivery is reliable by the time
-            # the transport finishes, or assumed reliable without one).
-            for member in self.members.values():
-                member.absorb(result.encrypted_keys)
+        if not self.config.cost_only:
+            if result.advanced:
+                # ELK/LKH+ one-way advances: every member computes locally.
+                for member in self.members.values():
+                    member.apply_advances(result.advanced)
+            if result.encrypted_keys:
+                if self.config.transport is not None:
+                    task = self._build_task(result)
+                    outcome = self.config.transport.run(task, self.channel)
+                    if not outcome.satisfied:
+                        raise RuntimeError(
+                            f"transport failed to satisfy all receivers at t={now}"
+                        )
+                    transport_keys = outcome.keys_sent
+                    transport_packets = outcome.packets_sent
+                    transport_rounds = outcome.rounds
+                # Members absorb the payload (delivery is reliable by the
+                # time the transport finishes, or assumed reliable without
+                # one).  The positional index is built once and shared.
+                index = result.index()
+                for member in self.members.values():
+                    member.absorb(result.encrypted_keys, index=index)
         if self.config.verify:
             self._verify(result)
         self.metrics.add(
@@ -202,23 +237,16 @@ class GroupRekeyingSimulation:
         self.loop.schedule(now + self.config.rekey_period, self._rekey)
 
     def _build_task(self, result: BatchResult) -> TransportTask:
-        """Per-receiver interest for the batch payload (sparseness property)."""
+        """Per-receiver interest for the batch payload (sparseness property).
+
+        Resolved through the payload's shared positional index: each
+        member's fixed-point closure costs O(its tree depth), so building
+        the whole task is O(N · depth) instead of O(N · message size).
+        """
+        index = result.index()
         interest: Dict[str, Set[int]] = {}
         for member_id, member in self.members.items():
-            versions = member.held_versions()
-            wanted: Set[int] = set()
-            progress = True
-            while progress:
-                progress = False
-                for index, ek in enumerate(result.encrypted_keys):
-                    if index in wanted:
-                        continue
-                    if versions.get(ek.wrapping_id) == ek.wrapping_version and (
-                        versions.get(ek.payload_id, -1) < ek.payload_version
-                    ):
-                        wanted.add(index)
-                        versions[ek.payload_id] = ek.payload_version
-                        progress = True
+            wanted = {pos for pos, _ in index.closure(member.held_versions())}
             if wanted:
                 interest[member_id] = wanted
         return TransportTask(keys=list(result.encrypted_keys), interest=interest)

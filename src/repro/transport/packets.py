@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.perf.instrumentation import count as perf_count
+
 
 @dataclass(frozen=True)
 class KeyPacket:
@@ -54,6 +56,9 @@ def pack_indices(
             )
         )
         seqno += 1
+    if packets:
+        perf_count("transport.packets_packed", len(packets))
+        perf_count("transport.keys_packed", len(indices))
     return packets
 
 

@@ -78,22 +78,11 @@ def build_task(
     Interest is the fixed-point closure: a key is interesting if its wrap
     can be opened with a held key or with another interesting key from the
     same message (rekey messages chain fresh parents onto fresh children).
+    Computed through the message's shared positional index, so the work per
+    receiver is O(its tree depth) rather than O(message size).
     """
+    index = message.index()
     interest: Dict[str, Set[int]] = {}
     for receiver_id, versions in held_versions.items():
-        reachable = dict(versions)
-        wanted: Set[int] = set()
-        progress = True
-        while progress:
-            progress = False
-            for index, ek in enumerate(message.encrypted_keys):
-                if index in wanted:
-                    continue
-                if reachable.get(ek.wrapping_id) == ek.wrapping_version and (
-                    reachable.get(ek.payload_id, -1) < ek.payload_version
-                ):
-                    wanted.add(index)
-                    reachable[ek.payload_id] = ek.payload_version
-                    progress = True
-        interest[receiver_id] = wanted
+        interest[receiver_id] = {pos for pos, _ in index.closure(versions)}
     return TransportTask(keys=list(message.encrypted_keys), interest=interest)

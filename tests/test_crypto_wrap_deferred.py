@@ -1,0 +1,98 @@
+"""Unit tests for deferred wrapping and the wrap-mode controls."""
+
+import pytest
+
+from repro.crypto.material import KeyGenerator
+from repro.crypto.wrap import (
+    LazyEncryptedKey,
+    deferred_wraps,
+    set_wrap_mode,
+    unwrap_key,
+    wrap_key,
+    wrap_mode,
+)
+
+
+@pytest.fixture
+def keys():
+    gen = KeyGenerator(9)
+    return gen.generate("wrapping"), gen.generate("payload")
+
+
+class TestWrapMode:
+    def test_default_mode_is_eager(self):
+        assert wrap_mode() == "eager"
+
+    def test_set_wrap_mode_returns_previous(self):
+        assert set_wrap_mode("deferred") == "eager"
+        assert set_wrap_mode("eager") == "deferred"
+
+    def test_set_wrap_mode_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_wrap_mode("sometimes")
+
+    def test_context_manager_restores_mode(self):
+        with deferred_wraps():
+            assert wrap_mode() == "deferred"
+            with deferred_wraps(enabled=False):
+                assert wrap_mode() == "eager"
+            assert wrap_mode() == "deferred"
+        assert wrap_mode() == "eager"
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with deferred_wraps():
+                raise RuntimeError("boom")
+        assert wrap_mode() == "eager"
+
+
+class TestLazyEncryptedKey:
+    def test_deferred_wrap_returns_lazy_record(self, keys):
+        wrapping, payload = keys
+        with deferred_wraps():
+            ek = wrap_key(wrapping, payload)
+        assert isinstance(ek, LazyEncryptedKey)
+        assert not ek.materialized
+
+    def test_identity_fields_available_without_materializing(self, keys):
+        wrapping, payload = keys
+        with deferred_wraps():
+            ek = wrap_key(wrapping, payload)
+        assert ek.wrapping_handle == wrapping.handle
+        assert ek.payload_handle == payload.handle
+        assert not ek.materialized
+
+    def test_ciphertext_materializes_once_and_matches_eager(self, keys):
+        wrapping, payload = keys
+        eager = wrap_key(wrapping, payload)
+        with deferred_wraps():
+            lazy = wrap_key(wrapping, payload)
+        blob = lazy.ciphertext
+        assert lazy.materialized
+        assert blob == eager.ciphertext
+        assert lazy.ciphertext is blob  # cached, not recomputed
+
+    def test_unwrap_works_on_lazy_record(self, keys):
+        wrapping, payload = keys
+        with deferred_wraps():
+            ek = wrap_key(wrapping, payload)
+        assert unwrap_key(wrapping, ek) == payload
+
+    def test_lazy_equals_eager_and_hashes_alike(self, keys):
+        wrapping, payload = keys
+        eager = wrap_key(wrapping, payload)
+        with deferred_wraps():
+            lazy = wrap_key(wrapping, payload)
+        assert lazy == eager
+        assert eager == lazy  # reflected dataclass comparison defers to us
+        assert hash(lazy) == hash(eager)
+        assert lazy in {eager}
+
+    def test_lazy_not_equal_to_different_wrap(self, keys):
+        wrapping, payload = keys
+        other = KeyGenerator(10).generate("other")
+        with deferred_wraps():
+            lazy = wrap_key(wrapping, payload)
+            different = wrap_key(other, payload)
+        assert lazy != different
+        assert lazy != object()

@@ -1,0 +1,89 @@
+"""Unit tests for the perf instrumentation layer."""
+
+import pytest
+
+from repro.perf import (
+    Counter,
+    PerfRecorder,
+    Timer,
+    active_recorder,
+    count,
+    recording,
+    timed,
+)
+
+
+class TestRecorder:
+    def test_counts_accumulate(self):
+        recorder = PerfRecorder()
+        recorder.count("ops")
+        recorder.count("ops", 4)
+        assert recorder.counter("ops") == 5
+
+    def test_unknown_counter_reads_zero(self):
+        assert PerfRecorder().counter("missing") == 0
+
+    def test_timeit_accumulates_wall_clock(self):
+        recorder = PerfRecorder()
+        with recorder.timeit("phase"):
+            pass
+        with recorder.timeit("phase"):
+            pass
+        timer = recorder.timers["phase"]
+        assert timer.calls == 2
+        assert timer.total >= 0.0
+        assert recorder.timer_total("phase") == timer.total
+
+    def test_unknown_timer_total_is_zero(self):
+        assert PerfRecorder().timer_total("missing") == 0.0
+
+    def test_snapshot_is_plain_data(self):
+        recorder = PerfRecorder()
+        recorder.count("ops", 3)
+        with recorder.timeit("phase"):
+            pass
+        snap = recorder.snapshot()
+        assert snap["counters"]["ops"] == 3
+        assert "phase" in snap["timers"]
+
+
+class TestModuleProbes:
+    def test_probes_are_noops_without_recorder(self):
+        assert active_recorder() is None
+        count("ops", 10)  # must not raise
+        with timed("phase"):
+            pass
+        assert active_recorder() is None
+
+    def test_recording_installs_and_restores(self):
+        recorder = PerfRecorder()
+        with recording(recorder) as active:
+            assert active is recorder
+            assert active_recorder() is recorder
+            count("ops", 2)
+            with timed("phase"):
+                pass
+        assert active_recorder() is None
+        assert recorder.counter("ops") == 2
+        assert recorder.timers["phase"].calls == 1
+
+    def test_recording_nests(self):
+        outer, inner = PerfRecorder(), PerfRecorder()
+        with recording(outer):
+            with recording(inner):
+                count("ops")
+            count("ops")
+        assert inner.counter("ops") == 1
+        assert outer.counter("ops") == 1
+
+    def test_recording_creates_recorder_when_omitted(self):
+        with recording() as recorder:
+            count("ops")
+        assert isinstance(recorder, PerfRecorder)
+        assert recorder.counter("ops") == 1
+
+
+def test_dataclass_shapes():
+    assert Counter("n", 3).value == 3
+    timer = Timer("t")
+    assert timer.calls == 0 and timer.total == 0.0

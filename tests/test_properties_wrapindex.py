@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for the indexed delivery path.
+
+The :class:`~repro.crypto.wrap.WrapIndex` replaced linear payload scans
+in ``interest_of`` / member absorption; these properties pin the indexed
+results to the naive reference implementations — including order — over
+randomized batches, so the optimization can never drift semantically.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.material import KeyGenerator
+from repro.crypto.wrap import EncryptedKey, WrapIndex
+from repro.keytree.lkh import LkhRekeyer, RekeyMessage
+from repro.keytree.tree import KeyTree
+
+KEY_IDS = [f"k{i}" for i in range(12)]
+
+encrypted_keys = st.builds(
+    EncryptedKey,
+    wrapping_id=st.sampled_from(KEY_IDS),
+    wrapping_version=st.integers(min_value=0, max_value=3),
+    payload_id=st.sampled_from(KEY_IDS),
+    payload_version=st.integers(min_value=0, max_value=3),
+    ciphertext=st.just(b"opaque"),
+)
+batches = st.lists(encrypted_keys, max_size=60)
+holdings = st.dictionaries(
+    st.sampled_from(KEY_IDS), st.integers(min_value=0, max_value=3), max_size=8
+)
+
+
+def naive_interest(keys, held):
+    """The pre-index ``interest_of``: one linear pass, order-preserving."""
+    return [
+        ek for ek in keys if held.get(ek.wrapping_id) == ek.wrapping_version
+    ]
+
+
+def naive_closure_positions(keys, held):
+    """The pre-index fixed-point scan (repeated linear passes)."""
+    versions = dict(held)
+    wanted = set()
+    progress = True
+    while progress:
+        progress = False
+        for position, ek in enumerate(keys):
+            if position in wanted:
+                continue
+            if versions.get(ek.wrapping_id) == ek.wrapping_version and (
+                versions.get(ek.payload_id, -1) < ek.payload_version
+            ):
+                wanted.add(position)
+                versions[ek.payload_id] = ek.payload_version
+                progress = True
+    return wanted
+
+
+@settings(max_examples=200, deadline=None)
+@given(keys=batches, held=holdings)
+def test_interest_of_matches_naive_linear_filter(keys, held):
+    message = RekeyMessage(group="g", epoch=1, encrypted_keys=list(keys))
+    assert message.interest_of(held) == naive_interest(keys, held)
+
+
+@settings(max_examples=200, deadline=None)
+@given(keys=batches, held=holdings)
+def test_closure_is_sound_and_covers_direct_matches(keys, held):
+    """On arbitrary synthetic batches the closure must (a) select only
+    wraps justified by a held or learned key, (b) include every direct
+    match that teaches something new, and (c) leave the holdings alone.
+    (Exact equivalence with the naive fixed-point scan is asserted on
+    genuine rekey payloads below — synthetic batches can express
+    version-upgrade races where the naive scan is order-dependent.)"""
+    index = WrapIndex(keys)
+    before = dict(held)
+    selected = index.closure(held)
+    positions = {pos for pos, _ in selected}
+    assert held == before, "closure must not mutate the caller's holdings"
+    # (a) every selected wrap is openable with a held key or the payload
+    # of another selected wrap, teaches a strictly newer version than the
+    # holdings started with, and no (payload, version) is delivered twice.
+    justifying = set(held) | {ek.payload_id for _, ek in selected}
+    delivered = set()
+    for _, ek in selected:
+        assert ek.wrapping_id in justifying
+        assert ek.payload_version > before.get(ek.payload_id, -1)
+        assert ek.payload_handle not in delivered
+        delivered.add(ek.payload_handle)
+    # (b) direct matches that deliver something new are always included.
+    for pos, ek in index.direct_matches(held):
+        if ek.payload_version > before.get(ek.payload_id, -1):
+            assert any(
+                p == pos or other.payload_id == ek.payload_id
+                for p, other in selected
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    count=st.integers(min_value=2, max_value=50),
+    degree=st.integers(min_value=2, max_value=5),
+    data=st.data(),
+)
+def test_closure_matches_naive_fixed_point_on_real_messages(
+    count, degree, data
+):
+    """Indexed closure == the naive repeated-linear-pass fixed point on
+    genuine batched-rekey payloads, position for position."""
+    tree = KeyTree(degree=degree, keygen=KeyGenerator(8))
+    rekeyer = LkhRekeyer(tree)
+    members = [f"m{i}" for i in range(count)]
+    rekeyer.rekey_batch(joins=[(m, None) for m in members])
+    held = {
+        m: {n.key.key_id: n.key.version for n in tree.path_of(m)}
+        for m in members
+    }
+    k = data.draw(st.integers(min_value=1, max_value=count - 1))
+    victims = data.draw(
+        st.lists(
+            st.sampled_from(members), min_size=k, max_size=k, unique=True
+        )
+    )
+    joiners = [(f"j{i}", None) for i in range(k)]
+    message = rekeyer.rekey_batch(joins=joiners, departures=victims)
+    index = message.index()
+    for m in members:
+        if m in victims:
+            continue
+        positions = {pos for pos, _ in index.closure(held[m])}
+        assert positions == naive_closure_positions(
+            message.encrypted_keys, held[m]
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(keys=batches, held=holdings)
+def test_direct_matches_preserve_message_order(keys, held):
+    index = WrapIndex(keys)
+    positions = [pos for pos, _ in index.direct_matches(held)]
+    assert positions == sorted(positions)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    count=st.integers(min_value=2, max_value=50),
+    degree=st.integers(min_value=2, max_value=5),
+    data=st.data(),
+)
+def test_interest_of_matches_naive_on_real_rekey_messages(count, degree, data):
+    """Same equivalence on genuine batched-rekey payloads (chained wraps,
+    version bumps, split-created joints) rather than synthetic ones."""
+    tree = KeyTree(degree=degree, keygen=KeyGenerator(5))
+    rekeyer = LkhRekeyer(tree)
+    members = [f"m{i}" for i in range(count)]
+    rekeyer.rekey_batch(joins=[(m, None) for m in members])
+    held = {
+        m: {n.key.key_id: n.key.version for n in tree.path_of(m)}
+        for m in members
+    }
+    k = data.draw(st.integers(min_value=1, max_value=count - 1))
+    victims = data.draw(
+        st.lists(
+            st.sampled_from(members), min_size=k, max_size=k, unique=True
+        )
+    )
+    joiners = [(f"j{i}", None) for i in range(k)]
+    message = rekeyer.rekey_batch(joins=joiners, departures=victims)
+    for m in members:
+        if m in victims:
+            continue
+        assert message.interest_of(held[m]) == naive_interest(
+            message.encrypted_keys, held[m]
+        )
