@@ -209,6 +209,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import STANDARD_SCHEMES, run_chaos
+    from repro.faults.schedule import STANDARD_SCHEDULES
+
+    schemes = (
+        tuple(args.schemes.split(",")) if args.schemes else STANDARD_SCHEMES
+    )
+    schedules = (
+        tuple(args.schedules.split(","))
+        if args.schedules
+        else tuple(STANDARD_SCHEDULES) + ("randomized",)
+    )
+    if args.quick:
+        schemes = schemes[:2]
+        schedules = tuple(
+            s for s in schedules if s in ("crash-restore", "blackout-resync")
+        ) or schedules[:2]
+    report = run_chaos(
+        seed=args.seed,
+        horizon=args.horizon,
+        schemes=schemes,
+        schedules=schedules,
+        out_path=args.out,
+        progress=print,
+    )
+    print(f"wrote {args.out}")
+    for run in report["runs"]:
+        recoveries = run["recoveries"].get("count", 0)
+        line = (
+            f"{run['scheme']:>10} x {run['schedule']:<16} "
+            f"rekeyings={run['rekeyings']:<3} crashes={run['server_crashes']} "
+            f"abandoned={run['abandoned']:<3} recovered={recoveries:<3} "
+            f"violations={len(run['violations'])}"
+        )
+        if recoveries:
+            line += (
+                f"  (latency mean {run['recoveries']['latency_mean_s']:.0f}s,"
+                f" {run['recoveries']['keys_mean']:.1f} keys/recovery)"
+            )
+        print(line)
+    print(
+        f"totals: {report['server_crashes_total']} crash-restores, "
+        f"{report['abandoned_total']} abandonments, "
+        f"{report['recoveries_total']} unicast recoveries, "
+        f"{report['violations_total']} invariant violations"
+    )
+    for run in report["runs"]:
+        for violation in run["violations"]:
+            print(
+                f"VIOLATION [{run['scheme']} x {run['schedule']}]: {violation}",
+                file=sys.stderr,
+            )
+    if report["violations_total"]:
+        return 1
+    if report["recoveries_total"] == 0:
+        print(
+            "chaos sweep exercised no abandonment->resync path; "
+            "widen the schedules or horizon",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.members.durations import TwoClassDuration
     from repro.members.trace import MBoneTraceGenerator, write_trace
@@ -326,6 +390,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON report",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run fault-injection schedules against the schemes and check "
+        "the security invariants under fire (emits BENCH_chaos.json)",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--horizon", type=float, default=1800.0)
+    p.add_argument(
+        "--schemes",
+        default=None,
+        help="comma list (default: one,tt,pt,losshomog)",
+    )
+    p.add_argument(
+        "--schedules",
+        default=None,
+        help="comma list of fault schedules (default: all canned + randomized)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: 2 schemes x 2 schedules",
+    )
+    p.add_argument(
+        "--out", default="BENCH_chaos.json", help="where to write the report"
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("trace", help="generate a synthetic MBone-style trace")
     p.add_argument("output")

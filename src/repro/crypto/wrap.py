@@ -275,29 +275,35 @@ class WrapIndex:
 
         A wrap is reachable if openable with a held key or with a payload
         learned from another reachable wrap of the same message (rekey
-        messages chain fresh parents onto fresh children).  ``versions``
-        is not mutated.  Results come back sorted by message position;
-        total work is proportional to the wraps actually examined — O(tree
-        depth) per receiver — not to the message size.
+        messages chain fresh parents onto fresh children).  Learning a
+        newer version of a key does not forget the old one: a wrap under
+        a handle the holder ever possessed stays openable, so every
+        originally-held and learned (id, version) handle remains in the
+        work set.  ``versions`` is not mutated.  Results come back sorted
+        by message position; total work is proportional to the wraps
+        actually examined — O(tree depth) per receiver — not to the
+        message size.
         """
-        reachable = dict(versions)
-        frontier = list(reachable)
+        best = dict(versions)  # newest version known per id: novelty test
+        frontier: List[Tuple[str, int]] = list(versions.items())
+        openable = set(frontier)
         out: List[Tuple[int, EncryptedKey]] = []
         examined = 0
         while frontier:
-            key_id = frontier.pop()
-            version = reachable.get(key_id)
+            key_id, version = frontier.pop()
             for position, ek in self._buckets.get(key_id, self._EMPTY):
                 examined += 1
                 if ek.wrapping_version != version:
                     continue
-                if reachable.get(ek.payload_id, -1) >= ek.payload_version:
+                if best.get(ek.payload_id, -1) >= ek.payload_version:
                     continue
-                reachable[ek.payload_id] = ek.payload_version
+                best[ek.payload_id] = ek.payload_version
                 out.append((position, ek))
-                # The learned payload may unlock further wraps; its id may
-                # also be a *stale* entry processed earlier — re-queue it.
-                frontier.append(ek.payload_id)
+                # The learned payload may unlock further wraps.
+                handle = ek.payload_handle
+                if handle not in openable:
+                    openable.add(handle)
+                    frontier.append(handle)
         if examined:
             perf_count("wrapindex.examined", examined)
         out.sort()

@@ -1,0 +1,143 @@
+"""A fault-injecting multicast channel.
+
+:class:`FaultyChannel` is a drop-in
+:class:`~repro.network.channel.MulticastChannel`: the transports, the
+simulator and the conformance harness use it unchanged.  Every delivery
+draw first consults the attached :class:`~repro.faults.schedule.FaultSchedule`
+at the current simulation time (supplied by ``clock``, usually the event
+loop's ``now``):
+
+* an active :class:`~repro.faults.schedule.Blackout` covering the receiver
+  forces a loss;
+* an active :class:`~repro.faults.schedule.LossBurst` replaces the
+  receiver's steady-state loss process with a per-(receiver, burst)
+  Gilbert–Elliott chain drawn from its own dedicated RNG stream — the
+  steady-state process still advances (draw-and-discard) during the
+  window, so it resumes exactly where an un-faulted run would be;
+* :class:`~repro.faults.schedule.DuplicateDelivery` windows re-deliver
+  successful receptions with some probability (receivers must be
+  idempotent);
+* :class:`~repro.faults.schedule.DeliveryJitter` windows shuffle the
+  per-packet receiver processing order.
+
+Outside every window the channel behaves exactly like its parent —
+fault injection never perturbs steady-state draws.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Set, Tuple, TypeVar
+
+from repro.network.channel import DeliveryReport, MulticastChannel
+from repro.network.loss import GilbertElliottLoss, LossProcess
+from repro.faults.schedule import FaultSchedule, LossBurst
+
+PacketT = TypeVar("PacketT")
+
+
+class FaultyChannel(MulticastChannel[PacketT]):
+    """A lossy multicast channel with a fault schedule wired in.
+
+    Parameters
+    ----------
+    schedule:
+        The fault windows to apply.
+    clock:
+        Zero-argument callable returning the current simulation time
+        (default: a frozen clock at 0.0, useful in unit tests).
+    seed:
+        Same role as in :class:`MulticastChannel`.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        clock: Optional[Callable[[], float]] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.schedule = schedule
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self._fault_rng = random.Random(f"{seed}/fault-channel")
+        #: per-(receiver, burst) override chains with their own RNGs, so
+        #: burstiness has memory without touching the steady-state stream
+        self._burst_chains: Dict[
+            Tuple[str, int], Tuple[GilbertElliottLoss, random.Random]
+        ] = {}
+        # observability counters
+        self.blackout_losses = 0
+        self.burst_losses = 0
+        self.duplicates_delivered = 0
+        self.jittered_packets = 0
+
+    # ------------------------------------------------------------------
+
+    def _burst_chain(
+        self, receiver_id: str, burst: LossBurst
+    ) -> Tuple[GilbertElliottLoss, random.Random]:
+        index = self.schedule.bursts.index(burst)
+        key = (receiver_id, index)
+        entry = self._burst_chains.get(key)
+        if entry is None:
+            chain = GilbertElliottLoss(
+                p_good_to_bad=burst.p_good_to_bad,
+                p_bad_to_good=burst.p_bad_to_good,
+                good_loss=burst.good_loss,
+                bad_loss=burst.bad_loss,
+            )
+            entry = (chain, random.Random(f"{self.seed}/{receiver_id}/burst{index}"))
+            self._burst_chains[key] = entry
+        return entry
+
+    def _draw_lost(self, receiver_id: str, loss: LossProcess) -> bool:
+        """Fault-aware delivery draw.
+
+        During any fault window the receiver's steady-state process still
+        *advances* (a draw is taken and discarded) while the outcome comes
+        from the fault — so when the window closes, the steady-state draws
+        resume exactly where an un-faulted run would be, whatever kind of
+        loss process is subscribed.
+        """
+        now = self.clock()
+        if self.schedule.blacked_out(receiver_id, now):
+            stream = self._streams.get(receiver_id)
+            if stream is not None:
+                loss.lost(stream)  # advance, discard
+            self.blackout_losses += 1
+            return True
+        burst = self.schedule.burst_for(receiver_id, now)
+        if burst is not None:
+            stream = self._streams.get(receiver_id)
+            if stream is None:  # vanished mid-round
+                return True
+            loss.lost(stream)  # advance, discard
+            chain, chain_rng = self._burst_chain(receiver_id, burst)
+            lost = chain.lost(chain_rng)
+            if lost:
+                self.burst_losses += 1
+            return lost
+        return super()._draw_lost(receiver_id, loss)
+
+    def multicast(
+        self, packet: PacketT, audience: Optional[Set[str]] = None
+    ) -> DeliveryReport[PacketT]:
+        now = self.clock()
+        if self.schedule.jitter_active(now) and audience is not None and len(audience) > 1:
+            # Re-materialize the audience in a shuffled order; outcomes are
+            # unchanged (per-receiver streams), dependence on iteration
+            # order would surface as non-determinism in seeded runs.
+            shuffled = sorted(audience)
+            self._fault_rng.shuffle(shuffled)
+            audience = dict.fromkeys(shuffled).keys()  # ordered set view
+            self.jittered_packets += 1
+        report = super().multicast(packet, audience=audience)
+        duplicate_probability = self.schedule.duplicate_probability(now)
+        if duplicate_probability > 0.0:
+            for __ in report.delivered_to:
+                if self._fault_rng.random() < duplicate_probability:
+                    # The network hands the receiver a second copy; the
+                    # receiver stack must be idempotent (Member.absorb is).
+                    self.receptions += 1
+                    self.duplicates_delivered += 1
+        return report

@@ -1,0 +1,81 @@
+"""Bounded-retry policy for the NACK-based rekey transports.
+
+Without a policy, :class:`~repro.transport.wka_bkr.WkaBkrProtocol` and
+:class:`~repro.transport.fec.ProactiveFecProtocol` retry up to their
+constructor ``max_rounds`` and then raise
+:class:`~repro.transport.session.TransportExhausted`.  A
+:class:`RetryPolicy` makes the bound explicit and adds two degradation
+knobs the steady-state analysis has no use for but a production deployment
+cannot live without:
+
+* **exponential backoff** — rounds are spaced ``base_delay * backoff**i``
+  apart in *simulated* seconds (capped at ``max_delay``); the transport
+  accumulates the total into ``TransportResult.elapsed`` so the simulator
+  can account rekey-delivery latency against the rekey period;
+* **per-receiver abandonment** — a receiver still unsatisfied after
+  ``abandon_after`` rounds is dropped from the retransmission loop and
+  reported in ``TransportResult.abandoned`` instead of holding every other
+  receiver's delivery hostage.  Abandoned receivers transition to
+  ``OUT_OF_SYNC`` on the server and come back via unicast catch-up
+  (:mod:`repro.faults.recovery`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Round budget, backoff schedule and abandonment threshold.
+
+    Parameters
+    ----------
+    max_rounds:
+        Hard cap on delivery rounds (first transmission included).
+    base_delay:
+        Simulated seconds between round 1 and round 2.
+    backoff:
+        Multiplier applied to the delay before each further round.
+    max_delay:
+        Ceiling on any single inter-round delay.
+    abandon_after:
+        Rounds a receiver may remain unsatisfied before the transport
+        gives up on it (``None``: never abandon — exhaustion raises).
+    """
+
+    max_rounds: int = 12
+    base_delay: float = 1.0
+    backoff: float = 2.0
+    max_delay: float = 60.0
+    abandon_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be positive")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        if self.abandon_after is not None and self.abandon_after < 1:
+            raise ValueError("abandon_after must be positive when given")
+
+    def delay_before_round(self, round_index: int) -> float:
+        """Backoff before 0-based ``round_index`` (round 0 starts at once)."""
+        if round_index <= 0:
+            return 0.0
+        return min(self.base_delay * self.backoff ** (round_index - 1), self.max_delay)
+
+    def total_delay(self, rounds: int) -> float:
+        """Virtual seconds a delivery spanning ``rounds`` rounds occupies."""
+        return sum(self.delay_before_round(i) for i in range(rounds))
+
+    def should_abandon(self, rounds_outstanding: int) -> bool:
+        """Whether a receiver unsatisfied for this many rounds is dropped."""
+        return (
+            self.abandon_after is not None
+            and rounds_outstanding >= self.abandon_after
+        )

@@ -8,13 +8,22 @@ stable storage.  This module dumps a :class:`KeyTree` to a plain dict
 tree: same node ids, same key versions, same members, and a resumed
 node-id counter so post-restore node ids never collide with old ones.
 
+The attachment heaps round-trip too — entries verbatim, dead nodes
+dropped — so the restored tree makes *exactly* the attachment decisions
+the live tree would have (equal-depth ties break on the same recorded
+sequence numbers, and re-keying stale entries consumes the same counter
+draws, keeping future node ids identical).  The crash-and-restore fault
+path relies on this: a server restored mid-batch must re-derive the lost
+batch bit-for-bit.
+
 The dump contains every secret in the hierarchy.  Treat it like the key
 server's master state: encrypt at rest.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import heapq
+from typing import Dict, List, Optional
 
 from repro.crypto.material import KeyGenerator, KeyMaterial
 from repro.keytree.node import Node
@@ -48,6 +57,32 @@ def _node_from_dict(data: Dict) -> Node:
     return node
 
 
+def _heap_to_list(heap: List[tuple], tree: KeyTree) -> List[List]:
+    """Dump live heap entries as ``[depth, seq, node_id]`` triples.
+
+    Entries pointing at dead (spliced-out) nodes are dropped: popping one
+    only skips it, consuming no counter draws, so omitting them is
+    behaviorally identical.  Stale-*depth* entries on live nodes are kept
+    verbatim — re-keying those at pop time draws from the sequence
+    counter, which must replay identically after a restore.
+    """
+    return [
+        [depth, seq, node.node_id]
+        for depth, seq, node in heap
+        if tree._nodes.get(node.node_id) is node
+    ]
+
+
+def _heap_from_list(entries: List[List], tree: KeyTree) -> List[tuple]:
+    heap = [
+        (int(depth), int(seq), tree._nodes[node_id])
+        for depth, seq, node_id in entries
+        if node_id in tree._nodes
+    ]
+    heapq.heapify(heap)
+    return heap
+
+
 def tree_to_dict(tree: KeyTree) -> Dict:
     """Serialize ``tree`` (structure, keys, counters) to a plain dict."""
     return {
@@ -56,6 +91,8 @@ def tree_to_dict(tree: KeyTree) -> Dict:
         "degree": tree.degree,
         "seq": tree._seq_value,
         "root": _node_to_dict(tree.root),
+        "open_internal": _heap_to_list(tree._open_internal, tree),
+        "split_candidates": _heap_to_list(tree._split_candidates, tree),
     }
 
 
@@ -70,21 +107,30 @@ def tree_from_dict(data: Dict, keygen: Optional[KeyGenerator] = None) -> KeyTree
         The generator future rekeys should draw from (restored separately
         by the server snapshot; a fresh seeded one by default).
 
-    The attachment heaps are reseeded from the restored structure, so
-    subsequent insertions balance exactly as they would have pre-restart.
+    The attachment heaps are restored entry-for-entry (dumps that carry
+    them), so subsequent insertions attach exactly as they would have
+    pre-restart; legacy dumps without heap entries fall back to reseeding
+    the heaps from the structure, which balances equivalently but may
+    break equal-depth ties differently than the pre-restart tree.
     """
     if data.get("format") != FORMAT_VERSION:
         raise ValueError(f"unsupported key-tree dump format: {data.get('format')!r}")
     tree = KeyTree(degree=int(data["degree"]), keygen=keygen, name=data["name"])
     tree.root = _node_from_dict(data["root"])
-    tree._seq_value = int(data["seq"])
     tree._nodes = {node.node_id: node for node in tree.root.iter_subtree()}
     tree._member_leaf = {
         leaf.member_id: leaf for leaf in tree.root.iter_leaves()
     }
-    tree._open_internal = []
-    tree._split_candidates = []
-    for node in tree.root.iter_subtree():
-        tree._note_candidates(node)
+    if "open_internal" in data:
+        tree._open_internal = _heap_from_list(data["open_internal"], tree)
+        tree._split_candidates = _heap_from_list(data["split_candidates"], tree)
+    else:  # legacy dump: reseed from structure
+        tree._open_internal = []
+        tree._split_candidates = []
+        for node in tree.root.iter_subtree():
+            tree._note_candidates(node)
+    # Pin the counter last: the legacy reseed path consumes draws that
+    # must not advance the restored value.
+    tree._seq_value = int(data["seq"])
     tree.validate()
     return tree

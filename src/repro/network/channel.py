@@ -3,6 +3,13 @@
 The channel knows every subscribed receiver's loss process; a multicast
 costs one server transmission and is independently delivered-or-lost at
 each receiver, matching the independence assumption of Appendix B.
+
+Every receiver draws from its **own** deterministic RNG stream, derived
+from the channel seed and the receiver id.  Subscribing or unsubscribing
+one receiver therefore never shifts another receiver's loss draws — a
+property the fault-injection harness (:mod:`repro.faults`) relies on to
+reproduce a fault scenario exactly while varying the receiver set.
+(Re-subscribing the same id restarts that id's stream from the top.)
 """
 
 from __future__ import annotations
@@ -35,12 +42,15 @@ class MulticastChannel(Generic[PacketT]):
     Parameters
     ----------
     seed:
-        RNG seed for loss draws; runs are reproducible.
+        RNG seed; each receiver's per-id stream derives from it, so runs
+        are reproducible and per-receiver draws are independent of the
+        rest of the subscription set.
     """
 
     def __init__(self, seed: int = 0) -> None:
-        self.rng = random.Random(seed)
+        self.seed = seed
         self._receivers: Dict[str, LossProcess] = {}
+        self._streams: Dict[str, random.Random] = {}
         self.packets_sent = 0
         self.receptions = 0
         self.losses = 0
@@ -50,10 +60,13 @@ class MulticastChannel(Generic[PacketT]):
         if receiver_id in self._receivers:
             raise ValueError(f"receiver {receiver_id!r} already subscribed")
         self._receivers[receiver_id] = loss
+        # str seeding hashes via sha512, stable across processes.
+        self._streams[receiver_id] = random.Random(f"{self.seed}/{receiver_id}")
 
     def unsubscribe(self, receiver_id: str) -> None:
         """Remove a receiver (e.g. on group departure)."""
         self._receivers.pop(receiver_id, None)
+        self._streams.pop(receiver_id, None)
 
     def subscribers(self) -> List[str]:
         """Current receiver ids (unordered)."""
@@ -73,6 +86,24 @@ class MulticastChannel(Generic[PacketT]):
         except KeyError:
             raise KeyError(f"receiver {receiver_id!r} not subscribed") from None
 
+    def stream_of(self, receiver_id: str) -> random.Random:
+        """The per-receiver RNG stream loss draws come from."""
+        try:
+            return self._streams[receiver_id]
+        except KeyError:
+            raise KeyError(f"receiver {receiver_id!r} not subscribed") from None
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+
+    def _draw_lost(self, receiver_id: str, loss: LossProcess) -> bool:
+        """One delivered-or-lost draw (hook point for fault injection)."""
+        stream = self._streams.get(receiver_id)
+        if stream is None:  # receiver vanished mid-round; count as lost
+            return True
+        return loss.lost(stream)
+
     def multicast(
         self, packet: PacketT, audience: Optional[Set[str]] = None
     ) -> DeliveryReport[PacketT]:
@@ -91,12 +122,20 @@ class MulticastChannel(Generic[PacketT]):
         self.packets_sent += 1
         report: DeliveryReport[PacketT] = DeliveryReport(packet=packet)
         targets = (
-            self._receivers.items()
+            list(self._receivers.items())
             if audience is None
-            else ((rid, self._receivers[rid]) for rid in audience if rid in self._receivers)
+            else [
+                (rid, self._receivers[rid])
+                for rid in audience
+                if rid in self._receivers
+            ]
         )
         for receiver_id, loss in targets:
-            if loss.lost(self.rng):
+            if receiver_id not in self._receivers:
+                # Unsubscribed while this very round was being delivered
+                # (e.g. a departure event fired between draws).
+                continue
+            if self._draw_lost(receiver_id, loss):
                 report.lost_at.add(receiver_id)
                 self.losses += 1
             else:

@@ -59,8 +59,13 @@ class GilbertElliottLoss:
             ("p_good_to_bad", p_good_to_bad),
             ("p_bad_to_good", p_bad_to_good),
         ):
-            if not 0.0 < value <= 1.0:
-                raise ValueError(f"{name} must be in (0, 1]")
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if p_good_to_bad == 0.0 and p_bad_to_good == 0.0:
+            raise ValueError(
+                "a chain with no transitions has no stationary mean; "
+                "use BernoulliLoss for a memoryless process"
+            )
         for name, value in (("good_loss", good_loss), ("bad_loss", bad_loss)):
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 
 from repro.crypto.material import KeyGenerator, KeyMaterial
 from repro.crypto.wrap import EncryptedKey, WrapIndex
+from repro.faults.recovery import RecoveryEvent, SyncTracker
 from repro.perf.instrumentation import count as perf_count, timed as perf_timed
 
 
@@ -86,6 +87,24 @@ class GroupKeyServer:
         self._members: Dict[str, Registration] = {}
         self._pending_joins: Dict[str, Registration] = {}
         self._pending_leaves: Dict[str, float] = {}
+        self._sync: Optional[SyncTracker] = None
+
+    @property
+    def sync(self) -> SyncTracker:
+        """Per-receiver epoch state machine (built on first use).
+
+        Steady-state cost paths never touch it; the simulator and the
+        chaos harness drive its transitions as deliveries succeed, lag,
+        or get abandoned (see :mod:`repro.faults.recovery`).
+        """
+        if self._sync is None:
+            self._sync = SyncTracker()
+        return self._sync
+
+    @property
+    def current_epoch(self) -> int:
+        """The last processed batch epoch (0 before any rekeying)."""
+        return self._next_epoch - 1
 
     # ------------------------------------------------------------------
     # membership interface
@@ -150,6 +169,11 @@ class GroupKeyServer:
             del self._members[member_id]
         result.joined = [r.member_id for r in joins]
         result.departed = leaves
+        if self._sync is not None:
+            for registration in joins:
+                self._sync.admit(registration.member_id, self._next_epoch - 1)
+            for member_id in leaves:
+                self._sync.forget(member_id)
         with perf_timed("server.rekey"):
             self._process_batch(result, joins, leaves, now)
         perf_count("server.rekeys")
@@ -217,6 +241,25 @@ class GroupKeyServer:
             wrap_key(registration.individual_key, key)
             for key in self._current_keys_of(member_id)
         ]
+
+    def catch_up(self, member_id: str, now: float = 0.0):
+        """Unicast catch-up for an ``OUT_OF_SYNC`` receiver, measured.
+
+        Runs the :meth:`resync` path, transitions the member back to
+        ``IN_SYNC`` in the :attr:`sync` tracker, and returns
+        ``(payload, event)`` where the
+        :class:`~repro.faults.recovery.RecoveryEvent` carries the recovery
+        latency (time since desynchronization), epochs missed, and the
+        unicast key cost.  Raises ``KeyError`` for non-members, exactly
+        like :meth:`resync`.
+        """
+        payload = self.resync(member_id)
+        event: RecoveryEvent = self.sync.mark_recovered(
+            member_id, epoch=self.current_epoch, now=now, keys_sent=len(payload)
+        )
+        perf_count("server.catchups")
+        perf_count("server.catchup_keys", len(payload))
+        return payload, event
 
     def _current_keys_of(self, member_id: str) -> List[KeyMaterial]:
         """Every key ``member_id`` is currently entitled to hold, the

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.crypto.wrap import deferred_wraps
+from repro.faults.channel import FaultyChannel
+from repro.faults.schedule import FaultSchedule
 from repro.members.durations import TwoClassDuration
 from repro.members.member import Member
 from repro.members.population import LossPopulation
@@ -24,7 +26,7 @@ from repro.network.loss import BernoulliLoss
 from repro.server.base import BatchResult, GroupKeyServer
 from repro.sim.engine import EventLoop
 from repro.sim.metrics import RekeyRecord, SimulationMetrics
-from repro.transport.session import TransportTask
+from repro.transport.session import TransportExhausted, TransportTask
 
 
 @dataclass
@@ -65,6 +67,16 @@ class SimulationConfig:
         Produce rekey payloads as deferred wraps (ciphertext computed only
         if something reads it — see :func:`repro.crypto.wrap.wrap_key`).
         Skips all HMAC work in cost-only runs.
+    fault_schedule:
+        Optional :class:`~repro.faults.schedule.FaultSchedule`.  Channel
+        faults (bursts, blackouts, duplicates, jitter) apply to every
+        delivery draw; :class:`~repro.faults.schedule.ServerCrash` points
+        crash-and-restore the server through the snapshot machinery at the
+        next rekey; :class:`~repro.faults.schedule.ChurnStorm` events
+        inject membership bursts.
+    recovery_delay:
+        Seconds between a receiver being abandoned (``OUT_OF_SYNC``) and
+        its scheduled unicast catch-up.
     """
 
     arrival_rate: float = 1.0
@@ -78,6 +90,8 @@ class SimulationConfig:
     seed: int = 0
     cost_only: bool = False
     deferred_wrap: bool = False
+    fault_schedule: Optional[FaultSchedule] = None
+    recovery_delay: float = 30.0
 
     def __post_init__(self) -> None:
         if self.cost_only and self.transport is not None:
@@ -87,6 +101,8 @@ class SimulationConfig:
                 "cost_only runs cannot verify member key state; "
                 "pass verify=False"
             )
+        if self.recovery_delay < 0:
+            raise ValueError("recovery_delay must be non-negative")
 
 
 class GroupRekeyingSimulation:
@@ -117,7 +133,14 @@ class GroupRekeyingSimulation:
         self._join_attributes = join_attributes
         self.loop = EventLoop()
         self.rng = random.Random(self.config.seed)
-        self.channel: MulticastChannel = MulticastChannel(seed=self.config.seed + 1)
+        if self.config.fault_schedule is not None:
+            self.channel: MulticastChannel = FaultyChannel(
+                self.config.fault_schedule,
+                clock=lambda: self.loop.now,
+                seed=self.config.seed + 1,
+            )
+        else:
+            self.channel = MulticastChannel(seed=self.config.seed + 1)
         #: member_id -> state machine (None per member in cost-only runs).
         self.members: Dict[str, Optional[Member]] = {}
         self.member_class: Dict[str, str] = {}
@@ -125,6 +148,15 @@ class GroupRekeyingSimulation:
         self.departed: List[Member] = []
         self.metrics = SimulationMetrics()
         self._next_member = 0
+        #: receivers awaiting unicast catch-up (mirrors server.sync)
+        self._out_of_sync: Set[str] = set()
+        self._crash_cursor = 0
+        if self.config.transport is not None:
+            # Building the tracker now makes server.rekey() admit/forget
+            # members in it from the first batch onward.
+            self.sync_tracker = self.server.sync
+        else:
+            self.sync_tracker = None
 
     # ------------------------------------------------------------------
     # workload events
@@ -142,7 +174,8 @@ class GroupRekeyingSimulation:
                 attributes["loss_rate"] = loss_rate
         return attributes
 
-    def _arrive(self) -> None:
+    def _admit_new_member(self) -> str:
+        """Join one fresh member now (shared by arrivals and churn storms)."""
         now = self.loop.now
         member_id = f"m{self._next_member}"
         self._next_member += 1
@@ -166,6 +199,10 @@ class GroupRekeyingSimulation:
         self.member_loss[member_id] = loss_rate
         self.channel.subscribe(member_id, BernoulliLoss(loss_rate))
         self.loop.schedule(now + duration, lambda: self._depart(member_id))
+        return member_id
+
+    def _arrive(self) -> None:
+        self._admit_new_member()
         self.loop.schedule_in(
             self.rng.expovariate(self.config.arrival_rate), self._arrive
         )
@@ -178,23 +215,91 @@ class GroupRekeyingSimulation:
         self.channel.unsubscribe(member_id)
         self.member_class.pop(member_id, None)
         self.member_loss.pop(member_id, None)
+        self._out_of_sync.discard(member_id)
         if member is not None:
             self.departed.append(member)
             if len(self.departed) > self.config.departed_sample:
                 self.departed.pop(0)
 
+    def _churn_storm(self, joins: int, leaves: int) -> None:
+        """Inject a membership burst on top of the steady workload."""
+        victims = sorted(self.members)
+        if leaves and victims:
+            for member_id in self.rng.sample(victims, min(leaves, len(victims))):
+                self._depart(member_id)
+        for __ in range(joins):
+            self._admit_new_member()
+
     # ------------------------------------------------------------------
     # rekeying
     # ------------------------------------------------------------------
 
-    def _rekey(self) -> None:
-        now = self.loop.now
+    def _run_batch(self, now: float) -> BatchResult:
         if self.config.deferred_wrap:
             with deferred_wraps():
-                result = self.server.rekey(now=now)
-        else:
-            result = self.server.rekey(now=now)
+                return self.server.rekey(now=now)
+        return self.server.rekey(now=now)
+
+    def _maybe_crash(self, now: float) -> bool:
+        """Crash-and-restore the server when a crash point has come due.
+
+        The crash lands *mid-batch*: the server computes the pending batch,
+        then dies before any packet reaches the wire.  Recovery restores
+        the pre-batch snapshot (taken synchronously, modeling durable
+        state) and the restored server re-derives an identical batch —
+        which the equality check below proves — then delivers it normally.
+        Returns True when this rekey point was handled through the
+        crash path.
+        """
+        schedule = self.config.fault_schedule
+        if schedule is None:
+            return False
+        crashes = schedule.crashes
+        if self._crash_cursor >= len(crashes) or (
+            crashes[self._crash_cursor].at_time > now
+        ):
+            return False
+        from repro.server.snapshot import restore_server, snapshot_server
+
+        # Consume every crash point that has come due; one restore covers
+        # them all (repeated crashes before the same rekey point collapse).
+        while self._crash_cursor < len(crashes) and (
+            crashes[self._crash_cursor].at_time <= now
+        ):
+            self._crash_cursor += 1
+        state = snapshot_server(self.server)
+        doomed = self._run_batch(now)  # computed, then lost in the crash
+        tracker = self.server._sync
+        restored = restore_server(state)
+        restored._sync = tracker  # sync registry survives (durable)
+        self.server = restored
+        replay = self._run_batch(now)
+        if (replay.epoch, replay.cost, replay.breakdown) != (
+            doomed.epoch,
+            doomed.cost,
+            doomed.breakdown,
+        ):
+            raise AssertionError(
+                f"crash-restore divergence at t={now}: restored server "
+                f"re-derived epoch {replay.epoch} cost {replay.cost}, "
+                f"crashed one had epoch {doomed.epoch} cost {doomed.cost}"
+            )
+        self.metrics.server_crashes += 1
+        self._deliver_batch(replay, now)
+        return True
+
+    def _rekey(self) -> None:
+        now = self.loop.now
+        if not self._maybe_crash(now):
+            result = self._run_batch(now)
+            self._deliver_batch(result, now)
+        self.loop.schedule(now + self.config.rekey_period, self._rekey)
+
+    def _deliver_batch(self, result: BatchResult, now: float) -> None:
+        """Transport the batch payload, handle degradation, verify, record."""
         transport_keys = transport_packets = transport_rounds = 0
+        transport_elapsed = 0.0
+        newly_abandoned: Set[str] = set()
         if not self.config.cost_only:
             if result.advanced:
                 # ELK/LKH+ one-way advances: every member computes locally.
@@ -203,20 +308,44 @@ class GroupRekeyingSimulation:
             if result.encrypted_keys:
                 if self.config.transport is not None:
                     task = self._build_task(result)
-                    outcome = self.config.transport.run(task, self.channel)
-                    if not outcome.satisfied:
-                        raise RuntimeError(
-                            f"transport failed to satisfy all receivers at t={now}"
-                        )
+                    try:
+                        outcome = self.config.transport.run(task, self.channel)
+                    except TransportExhausted as exc:
+                        # Graceful degradation: the receivers the transport
+                        # could not satisfy go OUT_OF_SYNC and recover over
+                        # unicast instead of failing the whole run.
+                        outcome = exc.result
+                        newly_abandoned = set(exc.pending) | set(outcome.abandoned)
+                    else:
+                        newly_abandoned = set(outcome.abandoned)
+                        if not outcome.satisfied and not newly_abandoned:
+                            raise RuntimeError(
+                                f"transport failed to satisfy all receivers "
+                                f"at t={now}"
+                            )
                     transport_keys = outcome.keys_sent
                     transport_packets = outcome.packets_sent
                     transport_rounds = outcome.rounds
+                    transport_elapsed = outcome.elapsed
+                    if self.sync_tracker is not None:
+                        for rid in outcome.late:
+                            if rid in self.members and rid not in newly_abandoned:
+                                self.sync_tracker.mark_lagging(
+                                    rid, result.epoch, now
+                                )
+                    self._register_abandoned(newly_abandoned, result.epoch, now)
                 # Members absorb the payload (delivery is reliable by the
                 # time the transport finishes, or assumed reliable without
-                # one).  The positional index is built once and shared.
+                # one) — except OUT_OF_SYNC receivers, which missed wraps
+                # they would need and wait for unicast catch-up.  The
+                # positional index is built once and shared.
                 index = result.index()
-                for member in self.members.values():
+                for member_id, member in self.members.items():
+                    if member_id in self._out_of_sync:
+                        continue
                     member.absorb(result.encrypted_keys, index=index)
+                    if self.sync_tracker is not None:
+                        self.sync_tracker.mark_delivered(member_id, result.epoch)
         if self.config.verify:
             self._verify(result)
         self.metrics.add(
@@ -232,9 +361,37 @@ class GroupRekeyingSimulation:
                 transport_keys=transport_keys,
                 transport_packets=transport_packets,
                 transport_rounds=transport_rounds,
+                transport_elapsed=transport_elapsed,
+                abandoned=len(newly_abandoned),
             )
         )
-        self.loop.schedule(now + self.config.rekey_period, self._rekey)
+
+    def _register_abandoned(
+        self, abandoned: Set[str], epoch: int, now: float
+    ) -> None:
+        """Transition abandoned receivers to OUT_OF_SYNC and schedule their
+        unicast catch-up after the configured recovery delay."""
+        for member_id in abandoned:
+            if member_id not in self.members or member_id in self._out_of_sync:
+                continue
+            self._out_of_sync.add(member_id)
+            if self.sync_tracker is not None:
+                self.sync_tracker.mark_out_of_sync(member_id, epoch, now)
+            self.loop.schedule(
+                now + self.config.recovery_delay,
+                lambda rid=member_id: self._catch_up(rid),
+            )
+
+    def _catch_up(self, member_id: str) -> None:
+        """Unicast recovery: re-issue the member's current entitlement."""
+        if member_id not in self.members or member_id not in self._out_of_sync:
+            return  # departed (or already recovered) in the meantime
+        member = self.members[member_id]
+        payload, event = self.server.catch_up(member_id, now=self.loop.now)
+        if member is not None:
+            member.absorb(payload)
+        self._out_of_sync.discard(member_id)
+        self.metrics.recoveries.append(event)
 
     def _build_task(self, result: BatchResult) -> TransportTask:
         """Per-receiver interest for the batch payload (sparseness property).
@@ -246,6 +403,10 @@ class GroupRekeyingSimulation:
         index = result.index()
         interest: Dict[str, Set[int]] = {}
         for member_id, member in self.members.items():
+            if member_id in self._out_of_sync:
+                # No point retransmitting wraps it cannot open — the
+                # unicast catch-up path owns this receiver now.
+                continue
             wanted = {pos for pos, _ in index.closure(member.held_versions())}
             if wanted:
                 interest[member_id] = wanted
@@ -264,6 +425,9 @@ class GroupRekeyingSimulation:
         """
         dek = self.server.group_key()
         for member_id, member in self.members.items():
+            if member_id in self._out_of_sync:
+                # Legitimately behind until its unicast catch-up lands.
+                continue
             if not member.holds(dek.key_id, dek.version):
                 raise AssertionError(
                     f"member {member_id} missing group key "
@@ -286,5 +450,12 @@ class GroupRekeyingSimulation:
             self.rng.expovariate(self.config.arrival_rate), self._arrive
         )
         self.loop.schedule(self.config.rekey_period, self._rekey)
+        if self.config.fault_schedule is not None:
+            for storm in self.config.fault_schedule.storms:
+                if storm.at_time <= self.config.horizon:
+                    self.loop.schedule(
+                        storm.at_time,
+                        lambda s=storm: self._churn_storm(s.joins, s.leaves),
+                    )
         self.loop.run_until(self.config.horizon)
         return self.metrics

@@ -32,7 +32,12 @@ from repro.transport.codec import (
 from repro.transport.fec import ProactiveFecProtocol
 from repro.transport.multisend import MultiSendProtocol
 from repro.transport.packets import KeyPacket, pack_indices
-from repro.transport.session import TransportResult, TransportTask, build_task
+from repro.transport.session import (
+    TransportExhausted,
+    TransportResult,
+    TransportTask,
+    build_task,
+)
 from repro.transport.wka_bkr import WkaBkrProtocol
 
 __all__ = [
@@ -40,6 +45,7 @@ __all__ = [
     "KeyPacket",
     "MultiSendProtocol",
     "ProactiveFecProtocol",
+    "TransportExhausted",
     "TransportResult",
     "TransportTask",
     "WkaBkrProtocol",

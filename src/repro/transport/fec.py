@@ -23,11 +23,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
+from repro.faults.retry import RetryPolicy
 from repro.network.channel import MulticastChannel
 from repro.transport.packets import KeyPacket, pack_indices
-from repro.transport.session import TransportResult, TransportTask
+from repro.transport.session import (
+    TransportExhausted,
+    TransportResult,
+    TransportTask,
+)
 
 
 @dataclass
@@ -66,15 +71,19 @@ class ProactiveFecProtocol:
         block_size: int = 16,
         proactivity: float = 1.25,
         max_rounds: int = 50,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be positive")
         if proactivity < 1.0:
             raise ValueError("proactivity factor must be >= 1")
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be positive")
         self.keys_per_packet = keys_per_packet
         self.block_size = block_size
         self.proactivity = proactivity
         self.max_rounds = max_rounds
+        self.retry = retry
 
     def run(self, task: TransportTask, channel: MulticastChannel) -> TransportResult:
         """Deliver ``task`` over ``channel``; returns the cost accounting."""
@@ -111,13 +120,19 @@ class ProactiveFecProtocol:
             return result
 
         seqno = len(payload)
-        for round_index in range(self.max_rounds):
+        round_cap = self.retry.max_rounds if self.retry is not None else self.max_rounds
+        for round_index in range(round_cap):
             # Receivers that left the channel (departed the group) stop
             # counting toward any block's deficit.
             for block in blocks:
                 for rid in [r for r in block.direct_missing if r not in channel]:
                     del block.direct_missing[rid]
                     block.received_count.pop(rid, None)
+            if self.retry is not None:
+                result.elapsed += self.retry.delay_before_round(round_index)
+            if round_index > 0:
+                for block in blocks:
+                    result.late.update(block.pending_receivers())
             packets_this_round = 0
             keys_this_round = 0
             parity_this_round = 0
@@ -162,8 +177,25 @@ class ProactiveFecProtocol:
                 keys=keys_this_round,
                 parity=parity_this_round,
             )
+            if self.retry is not None and self.retry.should_abandon(round_index + 1):
+                # Drop every still-pending receiver from every block: the
+                # retry policy hands them to the unicast recovery path.
+                for block in blocks:
+                    for rid in block.pending_receivers():
+                        result.abandoned.add(rid)
+                        del block.direct_missing[rid]
+                        block.received_count.pop(rid, None)
             if all(not b.pending_receivers() for b in blocks):
                 result.satisfied = True
                 return result
-        result.satisfied = all(not b.pending_receivers() for b in blocks)
+        pending = {rid for b in blocks for rid in b.pending_receivers()}
+        if pending:
+            result.satisfied = False
+            raise TransportExhausted(
+                f"proactive-fec exhausted {round_cap} rounds with "
+                f"{len(pending)} receivers unsatisfied",
+                result,
+                pending,
+            )
+        result.satisfied = True
         return result

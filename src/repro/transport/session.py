@@ -42,7 +42,16 @@ class TransportTask:
 
 @dataclass
 class TransportResult:
-    """Outcome and cost of delivering one rekey payload."""
+    """Outcome and cost of delivering one rekey payload.
+
+    ``satisfied`` covers every receiver the transport was still
+    responsible for at the end: receivers recorded in ``abandoned``
+    (dropped by a :class:`~repro.faults.retry.RetryPolicy` after its
+    per-receiver threshold) no longer count against it — they are the
+    server's problem now, via the unicast catch-up path.  ``elapsed`` is
+    the virtual time the delivery occupied: the sum of the retry policy's
+    inter-round backoff delays (zero without a policy).
+    """
 
     rounds: int = 0
     packets_sent: int = 0
@@ -50,6 +59,11 @@ class TransportResult:
     parity_packets: int = 0
     satisfied: bool = False
     per_round_packets: List[int] = field(default_factory=list)
+    abandoned: Set[str] = field(default_factory=set)
+    #: receivers that needed at least one retransmission round (they were
+    #: transiently LAGGING in the recovery state machine's terms)
+    late: Set[str] = field(default_factory=set)
+    elapsed: float = 0.0
 
     def merge_round(self, packets: int, keys: int, parity: int = 0) -> None:
         self.rounds += 1
@@ -57,6 +71,23 @@ class TransportResult:
         self.keys_sent += keys
         self.parity_packets += parity
         self.per_round_packets.append(packets)
+
+
+class TransportExhausted(RuntimeError):
+    """A transport hit its hard round cap with receivers still unsatisfied.
+
+    Raised instead of looping forever when the loss process never lets the
+    remaining receivers complete (e.g. loss rate approaching 1.0).  Carries
+    the partial :class:`TransportResult` accumulated so far and the ids of
+    the receivers still ``pending``, so the caller can degrade gracefully —
+    typically by marking them ``OUT_OF_SYNC`` and falling back to unicast
+    recovery (see :mod:`repro.faults.recovery`).
+    """
+
+    def __init__(self, message: str, result: TransportResult, pending: Set[str]):
+        super().__init__(message)
+        self.result = result
+        self.pending = frozenset(pending)
 
 
 def build_task(

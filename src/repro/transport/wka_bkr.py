@@ -16,9 +16,10 @@ packets wholesale — exploiting the payload's sparseness.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.wka import expected_transmissions
+from repro.faults.retry import RetryPolicy
 from repro.network.channel import MulticastChannel
 from repro.transport.packets import (
     KeyPacket,
@@ -26,7 +27,11 @@ from repro.transport.packets import (
     order_depth_first,
     pack_indices,
 )
-from repro.transport.session import TransportResult, TransportTask
+from repro.transport.session import (
+    TransportExhausted,
+    TransportResult,
+    TransportTask,
+)
 
 
 class WkaBkrProtocol:
@@ -40,22 +45,43 @@ class WkaBkrProtocol:
         ``"bfs"`` (default, widest audience first) or ``"dfs"``
         (message order, subtree-adjacent).
     max_rounds:
-        Safety bound on BKR rounds.
+        Hard safety cap on BKR rounds: a pathological loss process (rate
+        approaching 1.0) raises
+        :class:`~repro.transport.session.TransportExhausted` instead of
+        looping forever.
+    retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy`.  Its
+        ``max_rounds`` overrides the constructor cap, its backoff schedule
+        is accumulated into ``TransportResult.elapsed``, and receivers
+        unsatisfied past ``abandon_after`` rounds are dropped into
+        ``TransportResult.abandoned`` instead of exhausting the transport.
     """
 
     name = "wka-bkr"
+
+    #: WKA weighting clamps per-receiver loss rates here: the analytic
+    #: E[M] model diverges as the rate approaches 1, and replicating a key
+    #: more than ~10x in one round is wasted wire — past this point the
+    #: reactive BKR rounds, the hard round cap and the retry policy's
+    #: abandonment own the tail (a rate of exactly 1.0 can otherwise only
+    #: end in TransportExhausted).
+    MAX_WEIGHT_RATE = 0.9
 
     def __init__(
         self,
         keys_per_packet: int = 25,
         packing: str = "bfs",
         max_rounds: int = 50,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if packing not in ("bfs", "dfs"):
             raise ValueError("packing must be 'bfs' or 'dfs'")
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be positive")
         self.keys_per_packet = keys_per_packet
         self.packing = packing
         self.max_rounds = max_rounds
+        self.retry = retry
 
     # ------------------------------------------------------------------
 
@@ -70,7 +96,10 @@ class WkaBkrProtocol:
         """
         if not audience:
             return 0
-        rates = Counter(channel.loss_of(rid).mean_loss for rid in audience)
+        rates = Counter(
+            min(channel.loss_of(rid).mean_loss, self.MAX_WEIGHT_RATE)
+            for rid in audience
+        )
         total = sum(rates.values())
         mixture = [(rate, count / total) for rate, count in rates.items()]
         expected = expected_transmissions(float(total), mixture)
@@ -109,13 +138,21 @@ class WkaBkrProtocol:
     # ------------------------------------------------------------------
 
     def run(self, task: TransportTask, channel: MulticastChannel) -> TransportResult:
-        """Deliver ``task`` over ``channel``; returns the cost accounting."""
+        """Deliver ``task`` over ``channel``; returns the cost accounting.
+
+        Raises
+        ------
+        repro.transport.session.TransportExhausted
+            When the round cap is hit with receivers still unsatisfied and
+            no retry policy licenses abandoning them.
+        """
         result = TransportResult()
         outstanding: Dict[str, Set[int]] = {
             rid: set(wanted) for rid, wanted in task.interest.items() if wanted
         }
+        round_cap = self.retry.max_rounds if self.retry is not None else self.max_rounds
         seqno = 0
-        for __ in range(self.max_rounds):
+        for round_index in range(round_cap):
             # A receiver that left the channel mid-delivery (departed the
             # group) stops being anyone's problem.
             outstanding = {
@@ -123,6 +160,10 @@ class WkaBkrProtocol:
             }
             if not outstanding:
                 break
+            if self.retry is not None:
+                result.elapsed += self.retry.delay_before_round(round_index)
+            if round_index > 0:
+                result.late.update(outstanding)
             packets = self._build_round_packets(outstanding, channel, seqno)
             seqno += len(packets)
             keys_this_round = 0
@@ -141,5 +182,18 @@ class WkaBkrProtocol:
                     if not outstanding[rid]:
                         del outstanding[rid]
             result.merge_round(packets=len(packets), keys=keys_this_round)
-        result.satisfied = not outstanding
+            if self.retry is not None and self.retry.should_abandon(round_index + 1):
+                # Everyone still outstanding has now been unsatisfied for
+                # abandon_after rounds (interest is fixed at task start).
+                result.abandoned.update(outstanding)
+                outstanding.clear()
+        if outstanding:
+            result.satisfied = False
+            raise TransportExhausted(
+                f"wka-bkr exhausted {round_cap} rounds with "
+                f"{len(outstanding)} receivers unsatisfied",
+                result,
+                set(outstanding),
+            )
+        result.satisfied = True
         return result

@@ -1,0 +1,137 @@
+"""FaultyChannel: schedule windows applied to delivery draws."""
+
+from repro.faults.channel import FaultyChannel
+from repro.faults.schedule import (
+    Blackout,
+    DeliveryJitter,
+    DuplicateDelivery,
+    FaultSchedule,
+    LossBurst,
+)
+from repro.network.channel import MulticastChannel
+from repro.network.loss import BernoulliLoss
+
+
+class _Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def test_blackout_forces_total_loss():
+    clock = _Clock()
+    schedule = FaultSchedule.of(
+        [Blackout(start=10.0, duration=10.0, receivers=frozenset({"dark"}))]
+    )
+    channel = FaultyChannel(schedule, clock=clock, seed=1)
+    channel.subscribe("dark", BernoulliLoss(0.0))
+    channel.subscribe("lit", BernoulliLoss(0.0))
+
+    clock.now = 5.0  # before the window
+    assert channel.multicast("p").delivered_to == {"dark", "lit"}
+    clock.now = 15.0  # inside
+    for __ in range(20):
+        report = channel.multicast("p")
+        assert "dark" in report.lost_at
+        assert "lit" in report.delivered_to
+    clock.now = 25.0  # after
+    assert channel.multicast("p").delivered_to == {"dark", "lit"}
+    assert channel.blackout_losses == 20
+
+
+def test_burst_overrides_loss_and_resumes_unshifted():
+    """During a burst the GE override draws; afterwards the steady-state
+    process continues exactly where an un-faulted run would be."""
+    def outcomes(schedule, packets, clock_times):
+        clock = _Clock()
+        channel = FaultyChannel(schedule, clock=clock, seed=9)
+        channel.subscribe("r", BernoulliLoss(0.3))
+        seen = []
+        for i in range(packets):
+            clock.now = clock_times[i]
+            seen.append("r" in channel.multicast(i).delivered_to)
+        return seen
+
+    quiet = FaultSchedule()
+    bursty = FaultSchedule.of(
+        [LossBurst(start=10.0, duration=10.0, bad_loss=1.0, good_loss=1.0,
+                   p_good_to_bad=0.5, p_bad_to_good=0.1)]
+    )
+    times = [float(i) for i in range(30)]
+    base = outcomes(quiet, 30, times)
+    faulted = outcomes(bursty, 30, times)
+    # Inside the window (t in [10, 20)) everything is lost (loss 1 in both
+    # states); outside it the draws match the un-faulted run exactly.
+    assert faulted[:10] == base[:10]
+    assert faulted[10:20] == [False] * 10
+    assert faulted[20:] == base[20:]
+
+
+def test_burst_chains_are_per_receiver():
+    schedule = FaultSchedule.of(
+        [LossBurst(start=0.0, duration=100.0, p_good_to_bad=0.3,
+                   p_bad_to_good=0.3, good_loss=0.0, bad_loss=1.0)]
+    )
+    channel = FaultyChannel(schedule, seed=4)
+    channel.subscribe("a", BernoulliLoss(0.0))
+    channel.subscribe("b", BernoulliLoss(0.0))
+    a_hits, b_hits = [], []
+    for i in range(200):
+        report = channel.multicast(i)
+        a_hits.append("a" in report.delivered_to)
+        b_hits.append("b" in report.delivered_to)
+    # Independent chains: the two receivers' burst patterns differ.
+    assert a_hits != b_hits
+    assert channel.burst_losses > 0
+
+
+def test_duplicates_counted_and_probability_zero_outside_window():
+    clock = _Clock(now=5.0)
+    schedule = FaultSchedule.of(
+        [DuplicateDelivery(start=0.0, duration=10.0, probability=1.0)]
+    )
+    channel = FaultyChannel(schedule, clock=clock, seed=2)
+    channel.subscribe("r", BernoulliLoss(0.0))
+    channel.multicast("p")
+    assert channel.duplicates_delivered == 1
+    assert channel.receptions == 2  # original + duplicate
+    clock.now = 50.0
+    channel.multicast("p")
+    assert channel.duplicates_delivered == 1
+
+
+def test_jitter_shuffles_order_but_not_outcomes():
+    """Per-receiver streams make draw outcomes independent of processing
+    order, so a jittered channel reports identical outcomes."""
+    ids = [f"r{i}" for i in range(12)]
+
+    def run(schedule):
+        clock = _Clock(now=5.0)
+        channel = FaultyChannel(schedule, clock=clock, seed=6)
+        for rid in ids:
+            channel.subscribe(rid, BernoulliLoss(0.4))
+        reports = []
+        for i in range(40):
+            reports.append(
+                frozenset(channel.multicast(i, audience=set(ids)).delivered_to)
+            )
+        return reports, channel
+
+    plain_reports, __ = run(FaultSchedule())
+    jitter_reports, jitter_channel = run(
+        FaultSchedule.of([DeliveryJitter(start=0.0, duration=100.0)])
+    )
+    assert jitter_channel.jittered_packets == 40
+    assert jitter_reports == plain_reports
+
+
+def test_no_windows_behaves_like_parent():
+    plain = MulticastChannel(seed=8)
+    faulty = FaultyChannel(FaultSchedule(), seed=8)
+    for channel in (plain, faulty):
+        channel.subscribe("x", BernoulliLoss(0.5))
+    plain_seen = [bool(plain.multicast(i).delivered_to) for i in range(100)]
+    faulty_seen = [bool(faulty.multicast(i).delivered_to) for i in range(100)]
+    assert plain_seen == faulty_seen

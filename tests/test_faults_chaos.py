@@ -1,0 +1,84 @@
+"""Chaos harness smoke tests: faults end-to-end with zero violations."""
+
+import json
+
+import pytest
+
+from repro.faults.chaos import ChaosSimulation, run_chaos, run_chaos_case
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule
+from repro.members.durations import TwoClassDuration
+from repro.members.population import LossPopulation
+from repro.server.onetree import OneTreeServer
+from repro.sim.simulation import SimulationConfig
+from repro.transport.wka_bkr import WkaBkrProtocol
+
+
+def test_blackout_resync_abandons_then_recovers():
+    report = run_chaos_case("one", "blackout-resync", seed=7, horizon=1200.0)
+    assert report["violations"] == []
+    assert report["abandoned"] > 0
+    recoveries = report["recoveries"]
+    assert recoveries["count"] > 0
+    assert recoveries["latency_min_s"] > 0.0
+    assert recoveries["keys_total"] > 0
+    assert report["counters"]["server.catchups"] == recoveries["count"]
+
+
+def test_crash_restore_is_transparent():
+    report = run_chaos_case("one", "crash-restore", seed=7, horizon=1200.0)
+    assert report["violations"] == []
+    assert report["server_crashes"] > 0
+    assert report["rekeyings"] > 0
+
+
+def test_two_partition_under_randomized_faults():
+    report = run_chaos_case("tt", "randomized", seed=11, horizon=1200.0)
+    assert report["violations"] == []
+
+
+def test_run_chaos_writes_report(tmp_path):
+    out = tmp_path / "BENCH_chaos.json"
+    report = run_chaos(
+        seed=7,
+        horizon=900.0,
+        schemes=("one",),
+        schedules=("blackout-resync",),
+        out_path=str(out),
+    )
+    assert report["violations_total"] == 0
+    assert report["recoveries_total"] > 0
+    on_disk = json.loads(out.read_text())
+    assert on_disk["runs"][0]["scheme"] == "one"
+    assert on_disk["violations_total"] == 0
+
+
+def test_chaos_simulation_detects_planted_violation():
+    """The harness must actually catch a broken invariant, not just pass."""
+    config = SimulationConfig(
+        arrival_rate=0.05,
+        rekey_period=60.0,
+        horizon=600.0,
+        duration_model=TwoClassDuration(),
+        loss_population=LossPopulation.two_point(),
+        transport=WkaBkrProtocol(
+            keys_per_packet=16,
+            retry=RetryPolicy(max_rounds=8, abandon_after=4),
+        ),
+        verify=True,
+        seed=7,
+        fault_schedule=FaultSchedule(),
+    )
+    sim = ChaosSimulation(OneTreeServer(), config)
+    metrics = sim.run()
+    assert sim.violations == []
+    # Now plant a forward-secrecy hole: give a departed member the DEK.
+    if not sim.departed:
+        pytest.skip("workload produced no departures to corrupt")
+    from repro.server.base import BatchResult
+
+    adversary = sim.departed[0]
+    adversary.install(sim.server.group_key())
+    sim._verify(BatchResult(epoch=999, time=601.0))
+    assert any("evicted" in v for v in sim.violations)
+    assert metrics.rekey_count > 0

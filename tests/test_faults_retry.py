@@ -1,0 +1,128 @@
+"""Bounded retry: RetryPolicy, TransportExhausted, and abandonment."""
+
+import pytest
+
+from repro.crypto.material import KeyGenerator
+from repro.crypto.wrap import wrap_key
+from repro.faults.retry import RetryPolicy
+from repro.network.channel import MulticastChannel
+from repro.network.loss import BernoulliLoss, GilbertElliottLoss
+from repro.transport.fec import ProactiveFecProtocol
+from repro.transport.session import TransportExhausted, TransportTask
+from repro.transport.wka_bkr import WkaBkrProtocol
+
+
+def _task(keys=6, receivers=("r0", "r1", "r2")):
+    gen = KeyGenerator(31)
+    wrapping = gen.generate("kek")
+    encrypted = [wrap_key(wrapping, gen.generate(f"k{i}")) for i in range(keys)]
+    interest = {rid: set(range(keys)) for rid in receivers}
+    return TransportTask(keys=encrypted, interest=interest)
+
+
+def _channel(loss_by_receiver):
+    channel = MulticastChannel(seed=1)
+    for rid, loss in loss_by_receiver.items():
+        channel.subscribe(rid, loss)
+    return channel
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_rounds=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(abandon_after=0)
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(base_delay=1.0, backoff=2.0, max_delay=5.0)
+        assert policy.delay_before_round(0) == 0.0
+        assert policy.delay_before_round(1) == 1.0
+        assert policy.delay_before_round(2) == 2.0
+        assert policy.delay_before_round(3) == 4.0
+        assert policy.delay_before_round(4) == 5.0  # capped
+        assert policy.total_delay(4) == pytest.approx(0.0 + 1.0 + 2.0 + 4.0)
+
+    def test_abandonment_threshold(self):
+        policy = RetryPolicy(max_rounds=10, abandon_after=3)
+        assert not policy.should_abandon(2)
+        assert policy.should_abandon(3)
+        assert policy.should_abandon(4)
+        assert not RetryPolicy(max_rounds=10).should_abandon(9)
+
+
+class TestWkaBkrExhaustion:
+    def test_pathological_loss_raises_typed_exception(self):
+        """An absorbing-bad Gilbert–Elliott chain (loss -> 1.0) must hit
+        the hard cap and raise TransportExhausted, not loop forever."""
+        always_lost = GilbertElliottLoss(
+            p_good_to_bad=1.0, p_bad_to_good=0.0, good_loss=1.0, bad_loss=1.0
+        )
+        channel = _channel({"r0": BernoulliLoss(0.0), "r1": always_lost})
+        protocol = WkaBkrProtocol(keys_per_packet=4, max_rounds=6)
+        with pytest.raises(TransportExhausted) as excinfo:
+            protocol.run(_task(receivers=("r0", "r1")), channel)
+        exc = excinfo.value
+        assert exc.pending == frozenset({"r1"})
+        # The partial result still accounts for the work actually done.
+        assert exc.result.rounds == 6
+        assert exc.result.packets_sent > 0
+        assert not exc.result.satisfied
+        assert "r1" in exc.result.late
+
+    def test_retry_policy_caps_rounds_and_accrues_backoff(self):
+        always_lost = BernoulliLoss(0.999999999)
+        channel = _channel({"r0": always_lost})
+        policy = RetryPolicy(max_rounds=4, base_delay=1.0, backoff=2.0, max_delay=60.0)
+        protocol = WkaBkrProtocol(keys_per_packet=4, retry=policy)
+        with pytest.raises(TransportExhausted) as excinfo:
+            protocol.run(_task(receivers=("r0",)), channel)
+        assert excinfo.value.result.rounds == 4
+        # Backoff before rounds 1..3: 1 + 2 + 4 simulated seconds.
+        assert excinfo.value.result.elapsed == pytest.approx(7.0)
+
+    def test_abandonment_degrades_instead_of_exhausting(self):
+        always_lost = BernoulliLoss(0.999999999)
+        channel = _channel({"ok": BernoulliLoss(0.0), "doomed": always_lost})
+        policy = RetryPolicy(max_rounds=10, abandon_after=3)
+        protocol = WkaBkrProtocol(keys_per_packet=4, retry=policy)
+        result = protocol.run(_task(receivers=("ok", "doomed")), channel)
+        assert result.satisfied  # everyone the transport still owns is done
+        assert result.abandoned == {"doomed"}
+        assert result.rounds == 3
+
+    def test_no_retry_clean_delivery_unchanged(self):
+        channel = _channel({"r0": BernoulliLoss(0.0), "r1": BernoulliLoss(0.0)})
+        protocol = WkaBkrProtocol(keys_per_packet=4)
+        result = protocol.run(_task(receivers=("r0", "r1")), channel)
+        assert result.satisfied
+        assert result.abandoned == set()
+        assert result.late == set()
+        assert result.elapsed == 0.0
+
+
+class TestFecExhaustion:
+    def test_pathological_loss_raises_typed_exception(self):
+        always_lost = BernoulliLoss(0.999999999)
+        channel = _channel({"r0": BernoulliLoss(0.0), "r1": always_lost})
+        protocol = ProactiveFecProtocol(keys_per_packet=4, block_size=2, max_rounds=5)
+        with pytest.raises(TransportExhausted) as excinfo:
+            protocol.run(_task(receivers=("r0", "r1")), channel)
+        assert excinfo.value.pending == frozenset({"r1"})
+        assert excinfo.value.result.rounds == 5
+
+    def test_abandonment_unblocks_the_block(self):
+        always_lost = BernoulliLoss(0.999999999)
+        channel = _channel({"ok": BernoulliLoss(0.0), "doomed": always_lost})
+        policy = RetryPolicy(max_rounds=10, abandon_after=2)
+        protocol = ProactiveFecProtocol(keys_per_packet=4, block_size=2, retry=policy)
+        result = protocol.run(_task(receivers=("ok", "doomed")), channel)
+        assert result.satisfied
+        assert result.abandoned == {"doomed"}
+        assert result.rounds == 2

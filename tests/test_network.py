@@ -31,9 +31,50 @@ class TestBernoulliLoss:
 class TestGilbertElliott:
     def test_validation(self):
         with pytest.raises(ValueError):
-            GilbertElliottLoss(p_good_to_bad=0.0)
+            GilbertElliottLoss(p_good_to_bad=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_bad_to_good=-0.1)
         with pytest.raises(ValueError):
             GilbertElliottLoss(bad_loss=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(good_loss=-0.5)
+
+    def test_no_transitions_rejected(self):
+        """Both transition probs zero: no stationary mean exists."""
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=0.0, p_bad_to_good=0.0)
+
+    def test_absorbing_good_state(self):
+        """p_good_to_bad=0: the chain never leaves good; mean is good_loss."""
+        loss = GilbertElliottLoss(
+            p_good_to_bad=0.0, p_bad_to_good=0.3, good_loss=0.0, bad_loss=0.9
+        )
+        assert loss.mean_loss == pytest.approx(0.0)
+        rng = random.Random(11)
+        assert not any(loss.lost(rng) for __ in range(5000))
+
+    def test_absorbing_bad_state(self):
+        """p_bad_to_good=0: once bad, always bad; mean is bad_loss."""
+        loss = GilbertElliottLoss(
+            p_good_to_bad=1.0, p_bad_to_good=0.0, good_loss=0.0, bad_loss=1.0
+        )
+        assert loss.mean_loss == pytest.approx(1.0)
+        rng = random.Random(12)
+        outcomes = [loss.lost(rng) for __ in range(100)]
+        # First draw transitions into bad, so every packet is lost.
+        assert all(outcomes)
+
+    def test_degenerate_single_state_oscillation(self):
+        """p=1 both ways: the chain alternates states every packet."""
+        loss = GilbertElliottLoss(
+            p_good_to_bad=1.0, p_bad_to_good=1.0, good_loss=0.0, bad_loss=1.0
+        )
+        assert loss.mean_loss == pytest.approx(0.5)
+        rng = random.Random(13)
+        outcomes = [loss.lost(rng) for __ in range(1000)]
+        # Strict alternation: bad, good, bad, good, ...
+        assert outcomes[0::2] == [True] * 500
+        assert outcomes[1::2] == [False] * 500
 
     def test_stationary_mean(self):
         loss = GilbertElliottLoss(
@@ -125,3 +166,119 @@ class TestMulticastChannel:
 
         assert run(9) == run(9)
         assert run(9) != run(10)
+
+
+class TestPerReceiverStreams:
+    """Satellite regression: every receiver draws from its own RNG stream,
+    so changing the rest of the subscription set never shifts its draws."""
+
+    @staticmethod
+    def _outcomes(channel, receiver_id, packets=60):
+        results = []
+        for i in range(packets):
+            report = channel.multicast(i)
+            results.append(receiver_id in report.delivered_to)
+        return results
+
+    def test_unsubscribing_neighbor_does_not_shift_draws(self):
+        alone = MulticastChannel(seed=5)
+        alone.subscribe("keeper", BernoulliLoss(0.4))
+        baseline = self._outcomes(alone, "keeper")
+
+        crowded = MulticastChannel(seed=5)
+        crowded.subscribe("keeper", BernoulliLoss(0.4))
+        for i in range(8):
+            crowded.subscribe(f"other{i}", BernoulliLoss(0.4))
+        interleaved = []
+        for i in range(60):
+            if i == 20:
+                for j in range(4):
+                    crowded.unsubscribe(f"other{j}")
+            if i == 40:
+                crowded.subscribe("latecomer", BernoulliLoss(0.9))
+            report = crowded.multicast(i)
+            interleaved.append("keeper" in report.delivered_to)
+        assert interleaved == baseline
+
+    def test_streams_differ_between_receivers(self):
+        channel = MulticastChannel(seed=5)
+        channel.subscribe("a", BernoulliLoss(0.5))
+        channel.subscribe("b", BernoulliLoss(0.5))
+        a_draws = [channel.stream_of("a").random() for __ in range(20)]
+        b_draws = [channel.stream_of("b").random() for __ in range(20)]
+        assert a_draws != b_draws
+
+    def test_stream_stable_across_processes(self):
+        """str-seeded Random uses sha512, not PYTHONHASHSEED — pin a draw."""
+        channel = MulticastChannel(seed=0)
+        channel.subscribe("m0", BernoulliLoss(0.5))
+        expected = random.Random("0/m0").random()
+        assert channel.stream_of("m0").random() == expected
+
+    def test_stream_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MulticastChannel(seed=0).stream_of("ghost")
+
+    def test_resubscribe_restarts_stream(self):
+        channel = MulticastChannel(seed=3)
+        channel.subscribe("r", BernoulliLoss(0.5))
+        first = [channel.stream_of("r").random() for __ in range(5)]
+        channel.unsubscribe("r")
+        channel.subscribe("r", BernoulliLoss(0.5))
+        assert [channel.stream_of("r").random() for __ in range(5)] == first
+
+
+class TestUnsubscribeMidDelivery:
+    """Satellite edge case: a receiver departing while a multicast round is
+    in flight must simply drop out, not corrupt the report."""
+
+    def test_unsubscribe_during_draw_is_skipped(self):
+        channel = MulticastChannel(seed=0)
+
+        class Evicting(BernoulliLoss):
+            """A loss process that unsubscribes a *different* receiver the
+            moment its own draw runs (models a departure event firing
+            between per-receiver draws of one packet)."""
+
+            def __init__(self, victim):
+                super().__init__(0.0)
+                self.victim = victim
+
+            def lost(self, rng):
+                channel.unsubscribe(self.victim)
+                return False
+
+        channel.subscribe("a", Evicting("b"))
+        channel.subscribe("b", BernoulliLoss(0.0))
+        channel.subscribe("c", BernoulliLoss(0.0))
+        # No audience: targets iterate in (deterministic) subscription
+        # order, so a's draw runs — and evicts b — before b's would.
+        report = channel.multicast("pkt")
+        assert "a" in report.delivered_to
+        assert "c" in report.delivered_to
+        # b was unsubscribed mid-round: absent from both outcome sets.
+        assert "b" not in report.delivered_to
+        assert "b" not in report.lost_at
+        assert "b" not in channel
+
+    def test_self_unsubscribe_during_draw(self):
+        channel = MulticastChannel(seed=0)
+
+        class SelfEvicting(BernoulliLoss):
+            def __init__(self):
+                super().__init__(0.0)
+
+            def lost(self, rng):
+                channel.unsubscribe("a")
+                return False
+
+        channel.subscribe("a", SelfEvicting())
+        channel.subscribe("b", BernoulliLoss(0.0))
+        report = channel.multicast("pkt")
+        # The departure lands for subsequent packets either way; the draw
+        # already in flight may complete.
+        assert "b" in report.delivered_to
+        assert "a" not in channel
+        follow_up = channel.multicast("pkt2")
+        assert "a" not in follow_up.delivered_to
+        assert "a" not in follow_up.lost_at

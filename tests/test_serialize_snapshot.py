@@ -59,6 +59,32 @@ class TestTreeSerialization:
         assert all(node_id not in existing for node_id in fresh)
         restored.validate()
 
+    def test_restored_tree_attaches_joins_identically(self):
+        """The attachment heaps round-trip verbatim.
+
+        Re-seeding them on restore consumed fresh generator draws, so a
+        restored tree broke ties differently from the live one and joins
+        landed in different slots — which the crash-and-restore fault
+        path (replayed batch must re-derive the identical payload)
+        relies on never happening.
+        """
+        tree = self.build()
+        # Extra churn so the heaps hold stale-depth and dead entries.
+        for i in range(7):
+            tree.add_member(f"extra{i}")
+        for member in ("m3", "m12", "extra2"):
+            tree.remove_member(member)
+        restored = tree_from_dict(json.loads(json.dumps(tree_to_dict(tree))))
+        for i in range(15):
+            live = tree.add_member(f"twin{i}")
+            twin = restored.add_member(f"twin{i}")
+            assert twin.node_id == live.node_id
+            assert twin.parent.node_id == live.parent.node_id
+        assert {n.node_id for n in restored.iter_nodes()} == {
+            n.node_id for n in tree.iter_nodes()
+        }
+        restored.validate()
+
     def test_unknown_format_rejected(self):
         tree = self.build()
         data = tree_to_dict(tree)
