@@ -42,10 +42,16 @@ def pytest_sessionfinish(session, exitstatus):
     if not _bench_times:
         return
     OUT_DIR.mkdir(exist_ok=True)
-    payload = {
-        "session_wall_s": round(time.time() - _session_start, 4)
+    # Merge-preserve foreign keys (``python -m repro bench`` records its
+    # session under "repro_bench" in the same file).
+    try:
+        payload = json.loads(TIMES_FILE.read_text(encoding="utf-8"))
+    except (FileNotFoundError, ValueError):
+        payload = {}
+    payload["session_wall_s"] = (
+        round(time.time() - _session_start, 4)
         if _session_start is not None
-        else None,
-        "benchmarks": dict(sorted(_bench_times.items())),
-    }
+        else None
+    )
+    payload["benchmarks"] = dict(sorted(_bench_times.items()))
     TIMES_FILE.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

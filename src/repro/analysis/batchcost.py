@@ -29,6 +29,7 @@ expected counts.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Dict, List
 
 from repro.analysis.combinatorics import subtree_hit_probability
@@ -42,8 +43,13 @@ def _child_sizes(n: int, degree: int) -> List[int]:
     return [quotient + 1] * remainder + [quotient] * (degree - remainder)
 
 
+@lru_cache(maxsize=1 << 14)
 def expected_batch_cost(group_size: float, departures: float, degree: int = 4) -> float:
     """``Ne(N, L)`` over an idealized maximally balanced partial tree.
+
+    Memoized: the steady-state models call this kernel with repeated
+    ``(N, L, d)`` triples across figure and validation sweeps, and the
+    recursion is the dominating analytic cost at Fig. 5 sizes.
 
     Parameters
     ----------
@@ -92,6 +98,7 @@ def expected_batch_cost(group_size: float, departures: float, degree: int = 4) -
     return subtree_cost(n)
 
 
+@lru_cache(maxsize=1 << 14)
 def expected_batch_cost_full(
     group_size: float, departures: float, degree: int = 4
 ) -> float:

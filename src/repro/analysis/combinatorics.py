@@ -16,13 +16,19 @@ extension of the binomial coefficient — the natural smooth interpolation.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 
+@lru_cache(maxsize=1 << 16)
 def log_choose(n: float, k: float) -> float:
     """``log C(n, k)`` via the gamma function; real-valued ``n`` and ``k``.
 
     Defined for ``0 <= k <= n``.  Raises ``ValueError`` outside that range,
     where the combinatorial meaning is lost.
+
+    Memoized: the figure sweeps evaluate the same ``(N, L)`` pairs once per
+    subtree size per scheme, so hit rates are high and the float keys are
+    exact (no rounding is applied before lookup).
     """
     if k < 0 or k > n:
         raise ValueError(f"require 0 <= k <= n, got n={n}, k={k}")
@@ -31,6 +37,7 @@ def log_choose(n: float, k: float) -> float:
     )
 
 
+@lru_cache(maxsize=1 << 16)
 def subtree_hit_probability(group_size: float, departures: float, subtree: float) -> float:
     """Probability a subtree of ``subtree`` leaves contains >= 1 departure.
 

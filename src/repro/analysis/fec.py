@@ -37,11 +37,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from repro.analysis.batchcost import expected_batch_cost
 from repro.analysis.losshomog import TreeSpec
-from repro.analysis.wka import LossMixture, _validate_mixture
+from repro.analysis.wka import LossMixture, _mixture_key, _validate_mixture
 
 
 @dataclass(frozen=True)
@@ -64,8 +65,14 @@ class FecParameters:
             raise ValueError("max_rounds must be positive")
 
 
+@lru_cache(maxsize=1 << 16)
 def _log_binom_cdf(n: int, success: float, threshold: int) -> float:
-    """``log P[Bin(n, success) <= threshold]`` computed from the tail sum."""
+    """``log P[Bin(n, success) <= threshold]`` computed from the tail sum.
+
+    Memoized: the block-cost iteration re-evaluates the same
+    ``(sent, 1-p, deficit)`` tails for every block of a payload and for
+    every sweep point sharing a loss class.
+    """
     if threshold >= n:
         return 0.0
     if threshold < 0:
@@ -87,14 +94,12 @@ def _log_binom_cdf(n: int, success: float, threshold: int) -> float:
     return peak + math.log(total)
 
 
-def expected_block_cost(
+def _expected_block_cost_impl(
     block_packets: int,
     receivers: float,
-    mixture: LossMixture,
-    params: FecParameters = FecParameters(),
+    mixture: Sequence,
+    params: FecParameters,
 ) -> float:
-    """Expected packets multicast for one FEC block of ``block_packets``
-    payload packets to satisfy ``receivers`` interested receivers."""
     _validate_mixture(mixture)
     if block_packets <= 0 or receivers <= 0:
         return 0.0
@@ -124,6 +129,34 @@ def expected_block_cost(
             break
         sent += int(round(expected_max)) or 1
     return float(sent)
+
+
+_expected_block_cost_cached = lru_cache(maxsize=1 << 12)(_expected_block_cost_impl)
+
+
+def expected_block_cost(
+    block_packets: int,
+    receivers: float,
+    mixture: LossMixture,
+    params: FecParameters = FecParameters(),
+) -> float:
+    """Expected packets multicast for one FEC block of ``block_packets``
+    payload packets to satisfy ``receivers`` interested receivers.
+
+    Memoized on ``(block, receivers, canonical mixture, params)`` —
+    ``FecParameters`` is frozen, so it hashes by value.  Every full-size
+    block of a payload prices identically, and sweep points sharing a tree
+    population reuse each other's rounds.  ``.cache_info()`` /
+    ``.cache_clear()`` expose the cache; ``.__wrapped__`` bypasses it.
+    """
+    return _expected_block_cost_cached(
+        int(block_packets), float(receivers), _mixture_key(mixture), params
+    )
+
+
+expected_block_cost.cache_info = _expected_block_cost_cached.cache_info
+expected_block_cost.cache_clear = _expected_block_cost_cached.cache_clear
+expected_block_cost.__wrapped__ = _expected_block_cost_impl
 
 
 def fec_tree_cost(

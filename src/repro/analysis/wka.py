@@ -28,6 +28,7 @@ placement of classes over leaves.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Dict, Sequence, Tuple
 
 from repro.analysis.batchcost import _child_sizes
@@ -38,6 +39,11 @@ LossMixture = Sequence[Tuple[float, float]]
 
 _TAIL_EPSILON = 1e-12
 _MAX_TERMS = 10_000
+
+
+def _mixture_key(mixture: LossMixture) -> Tuple[Tuple[float, float], ...]:
+    """Hashable canonical form of a mixture (callers pass lists freely)."""
+    return tuple((float(rate), float(fraction)) for rate, fraction in mixture)
 
 
 def _validate_mixture(mixture: LossMixture) -> None:
@@ -52,20 +58,9 @@ def _validate_mixture(mixture: LossMixture) -> None:
         raise ValueError(f"mixture fractions must sum to 1, got {total}")
 
 
-def expected_transmissions(receivers: float, mixture: LossMixture) -> float:
-    """``E[M]`` — expected sends until all interested receivers have a key.
-
-    Parameters
-    ----------
-    receivers:
-        ``R`` — number of receivers interested in this encryption (may be
-        a fractional expectation).
-    mixture:
-        ``(loss_rate, fraction)`` pairs describing the receivers' loss
-        classes.
-
-    The series (eq. 14) is summed until the tail term drops below 1e-12.
-    """
+def _expected_transmissions_impl(
+    receivers: float, mixture: Tuple[Tuple[float, float], ...]
+) -> float:
     _validate_mixture(mixture)
     if receivers <= 0:
         return 0.0
@@ -89,6 +84,38 @@ def expected_transmissions(receivers: float, mixture: LossMixture) -> float:
             break
         m += 1
     return expectation
+
+
+_expected_transmissions_cached = lru_cache(maxsize=1 << 14)(
+    _expected_transmissions_impl
+)
+
+
+def expected_transmissions(receivers: float, mixture: LossMixture) -> float:
+    """``E[M]`` — expected sends until all interested receivers have a key.
+
+    Parameters
+    ----------
+    receivers:
+        ``R`` — number of receivers interested in this encryption (may be
+        a fractional expectation).
+    mixture:
+        ``(loss_rate, fraction)`` pairs describing the receivers' loss
+        classes.
+
+    The series (eq. 14) is summed until the tail term drops below 1e-12.
+    Memoized on ``(receivers, canonical mixture)`` — the eq. 15 sums call
+    it once per tree level per sweep point with a handful of distinct
+    mixtures, so the series is summed once per distinct argument pair.
+    ``expected_transmissions.cache_info()`` / ``.cache_clear()`` expose the
+    shared cache; ``.__wrapped__`` is the uncached kernel.
+    """
+    return _expected_transmissions_cached(float(receivers), _mixture_key(mixture))
+
+
+expected_transmissions.cache_info = _expected_transmissions_cached.cache_info
+expected_transmissions.cache_clear = _expected_transmissions_cached.cache_clear
+expected_transmissions.__wrapped__ = _expected_transmissions_impl
 
 
 def wka_rekey_cost_full(

@@ -31,13 +31,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         fig7_series,
     )
 
+    workers = args.workers
     producers = {
-        "fig3": lambda: fig3_series().format_table(),
-        "fig4": lambda: fig4_series().format_table(precision=2),
-        "fig5": lambda: fig5_series().format_table(precision=4),
-        "fig6": lambda: fig6_series().format_table(precision=2),
-        "fig7": lambda: fig7_series().format_table(precision=2),
-        "fec": lambda: fec_gain_series().format_table(precision=2),
+        "fig3": lambda: fig3_series(workers=workers).format_table(),
+        "fig4": lambda: fig4_series(workers=workers).format_table(precision=2),
+        "fig5": lambda: fig5_series(workers=workers).format_table(precision=4),
+        "fig6": lambda: fig6_series(workers=workers).format_table(precision=2),
+        "fig7": lambda: fig7_series(workers=workers).format_table(precision=2),
+        "fec": lambda: fec_gain_series(workers=workers).format_table(precision=2),
     }
     wanted = FIGURES if args.figure == "all" else (args.figure,)
     for index, name in enumerate(wanted):
@@ -81,7 +82,7 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
 def _cmd_headlines(args: argparse.Namespace) -> int:
     from repro.experiments.headlines import format_headlines
 
-    print(format_headlines())
+    print(format_headlines(workers=args.workers))
     return 0
 
 
@@ -102,7 +103,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             ),
         }
     else:
-        results = run_all_validations()
+        results = run_all_validations(workers=args.workers)
     worst = 0.0
     for result in results.values():
         print(result)
@@ -111,13 +112,25 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if worst < 0.35 else 1
 
 
-def _build_server(scheme: str, degree: int, s_period: float):
+def _build_server(
+    scheme: str,
+    degree: int,
+    s_period: float,
+    shards: int = 4,
+    workers: int = 1,
+    backend: str = "serial",
+):
     from repro.server.losshomog import LossHomogenizedServer
     from repro.server.onetree import OneTreeServer
+    from repro.server.sharded import ShardedOneTreeServer
     from repro.server.twopartition import TwoPartitionServer
 
     if scheme == "one":
         return OneTreeServer(degree=degree)
+    if scheme == "sharded":
+        return ShardedOneTreeServer(
+            shards=shards, workers=workers, backend=backend, degree=degree
+        )
     if scheme in ("qt", "tt", "pt"):
         return TwoPartitionServer(mode=scheme, s_period=s_period, degree=degree)
     if scheme == "losshomog":
@@ -148,7 +161,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.members.population import LossPopulation
     from repro.sim.simulation import GroupRekeyingSimulation, SimulationConfig
 
-    server = _build_server(args.scheme, args.degree, args.s_period)
+    server = _build_server(
+        args.scheme,
+        args.degree,
+        args.s_period,
+        shards=args.shards,
+        workers=args.workers,
+        backend=args.backend,
+    )
     transport = _build_transport(args.transport)
     needs_population = transport is not None or args.scheme in (
         "losshomog",
@@ -189,11 +209,52 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_bench_session(report: dict, out: str) -> None:
+    """Append this ``repro bench`` session to ``benchmarks/out/bench_times.json``.
+
+    Creates ``benchmarks/out/`` if missing and merge-preserves whatever the
+    pytest benchmark suite (or an earlier session) already wrote there.
+    """
+    import json
+    from pathlib import Path
+
+    times_file = Path("benchmarks") / "out" / "bench_times.json"
+    times_file.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        payload = json.loads(times_file.read_text(encoding="utf-8"))
+    except (FileNotFoundError, ValueError):
+        payload = {}
+    payload["repro_bench"] = {
+        "out": out,
+        "quick": report["quick"],
+        "workers": report["workers"],
+        "cpus": report["cpus"],
+        "scenarios": {
+            cell["name"]: {
+                "total_s": cell["optimized"]["total_s"],
+                "shards": cell["shards"],
+                "workers": cell["workers"],
+                "backend": cell["backend"],
+            }
+            for cell in report["scenarios"]
+        },
+    }
+    times_file.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import run_bench
 
-    report = run_bench(out_path=args.out, quick=args.quick, progress=print)
+    report = run_bench(
+        out_path=args.out,
+        quick=args.quick,
+        progress=print,
+        workers=args.workers,
+    )
     print(f"wrote {args.out}")
+    _record_bench_session(report, args.out)
     worst = None
     for scenario in report["scenarios"]:
         if scenario["speedup"] is not None:
@@ -204,6 +265,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
     if worst is not None:
         print(f"worst optimized-vs-baseline speedup: {worst:.1f}x")
+    mismatched = [
+        cell["name"]
+        for cell in report["scenarios"]
+        if cell["mean_batch_cost_matches_serial"] is False
+    ]
+    if mismatched:
+        print(
+            "ERROR: backend changed mean_batch_cost in: " + ", ".join(mismatched),
+            file=sys.stderr,
+        )
+        return 1
     if report["peak_rss_kb"] is not None:
         print(f"peak RSS: {report['peak_rss_kb'] / 1024:.0f} MiB")
     return 0
@@ -310,13 +382,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    workers_help = (
+        "fan sweep points out over a process pool of N workers "
+        "(results are identical to --workers 1)"
+    )
+
     p = sub.add_parser("figures", help="regenerate the paper's figure tables")
     p.add_argument(
         "figure", choices=FIGURES + ("all",), nargs="?", default="all"
     )
+    p.add_argument("--workers", type=int, default=1, help=workers_help)
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("headlines", help="paper-vs-reproduction headline numbers")
+    p.add_argument("--workers", type=int, default=1, help=workers_help)
     p.set_defaults(func=_cmd_headlines)
 
     p = sub.add_parser(
@@ -343,13 +422,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("validate", help="model-vs-simulation cross validation")
     p.add_argument("--fast", action="store_true", help="small configurations only")
+    p.add_argument("--workers", type=int, default=1, help=workers_help)
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("simulate", help="run one end-to-end simulated session")
     p.add_argument(
         "--scheme",
-        choices=("one", "qt", "tt", "pt", "losshomog", "random-trees"),
+        choices=("one", "sharded", "qt", "tt", "pt", "losshomog", "random-trees"),
         default="tt",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="sharded scheme: number of LKH subtrees (protocol parameter)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="sharded scheme: executor lanes (execution only, no payload effect)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="sharded scheme: executor backend (execution only)",
     )
     p.add_argument("--transport", choices=("none", "wka-bkr", "multi-send", "fec"), default="none")
     p.add_argument("--degree", type=int, default=4)
@@ -388,6 +486,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default="BENCH_hotpath.json",
         help="where to write the JSON report",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run whole scenarios over a process pool of N workers",
     )
     p.set_defaults(func=_cmd_bench)
 

@@ -8,13 +8,14 @@ parity (proactive and reactive) is sized by its worst receivers.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.analysis.fec import (
     FecParameters,
     fec_loss_homogenized_cost,
     fec_one_keytree_cost,
 )
+from repro.perf.parallel import parallel_map
 from repro.experiments.defaults import (
     SECTION4_DEPARTURES,
     SECTION4_GROUP_SIZE,
@@ -30,6 +31,18 @@ def default_alpha_grid() -> list:
     return [round(0.05 * i, 2) for i in range(0, 21)]
 
 
+def _fec_gain_point(item: Tuple) -> Tuple[float, float]:
+    """(one-tree, homogenized) FEC costs at one alpha; picklable."""
+    alpha, group_size, departures, degree, high_loss, low_loss, params = item
+    mixture = mixture_for(alpha, high_loss, low_loss)
+    return (
+        fec_one_keytree_cost(group_size, departures, mixture, degree, params),
+        fec_loss_homogenized_cost(
+            group_size, departures, mixture, degree, params
+        ),
+    )
+
+
 def fec_gain_series(
     alpha_values: Optional[Iterable[float]] = None,
     group_size: int = SECTION4_GROUP_SIZE,
@@ -38,6 +51,7 @@ def fec_gain_series(
     high_loss: float = SECTION4_HIGH_LOSS,
     low_loss: float = SECTION4_LOW_LOSS,
     params: FecParameters = FecParameters(),
+    workers: int = 1,
 ) -> Series:
     """Proactive-FEC rekeying cost (# keys) and homogenization gain vs alpha."""
     alphas = list(alpha_values) if alpha_values is not None else default_alpha_grid()
@@ -46,16 +60,19 @@ def fec_gain_series(
         x_label="alpha",
         x_values=[float(a) for a in alphas],
     )
-    one, homog, gain = [], [], []
-    for alpha in alphas:
-        mixture = mixture_for(alpha, high_loss, low_loss)
-        one_cost = fec_one_keytree_cost(group_size, departures, mixture, degree, params)
-        homog_cost = fec_loss_homogenized_cost(
-            group_size, departures, mixture, degree, params
-        )
-        one.append(one_cost)
-        homog.append(homog_cost)
-        gain.append((one_cost - homog_cost) / one_cost * 100 if one_cost else 0.0)
+    points = parallel_map(
+        _fec_gain_point,
+        [
+            (alpha, group_size, departures, degree, high_loss, low_loss, params)
+            for alpha in alphas
+        ],
+        workers,
+    )
+    one = [p[0] for p in points]
+    homog = [p[1] for p in points]
+    gain = [
+        (o - h) / o * 100 if o else 0.0 for o, h in zip(one, homog)
+    ]
     series.add_column("one-keytree", one)
     series.add_column("loss-homogenized", homog)
     series.add_column("gain-%", gain)

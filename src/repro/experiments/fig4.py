@@ -8,21 +8,29 @@ alpha = 0.9; PT always wins.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.analysis.twopartition import TwoPartitionParameters, scheme_costs
 from repro.experiments.defaults import TABLE1
 from repro.experiments.fig3 import SCHEMES
 from repro.experiments.report import Series
+from repro.perf.parallel import parallel_map
 
 
 def default_alpha_grid() -> list:
     return [round(0.05 * i, 2) for i in range(0, 21)]
 
 
+def _fig4_point(item: Tuple[TwoPartitionParameters, float]) -> Dict[str, float]:
+    """One sweep point — module-level so process pools can pickle it."""
+    base, alpha = item
+    return scheme_costs(base.with_alpha(alpha))
+
+
 def fig4_series(
     alpha_values: Optional[Iterable[float]] = None,
     params: Optional[TwoPartitionParameters] = None,
+    workers: int = 1,
 ) -> Series:
     """Rekeying cost (# keys) per periodic rekeying vs ``alpha``."""
     base = params if params is not None else TABLE1
@@ -32,9 +40,10 @@ def fig4_series(
         x_label="alpha",
         x_values=[float(a) for a in alphas],
     )
+    points = parallel_map(_fig4_point, [(base, a) for a in alphas], workers)
     costs = {name: [] for name in SCHEMES}
-    for alpha in alphas:
-        for name, value in scheme_costs(base.with_alpha(alpha)).items():
+    for point in points:
+        for name, value in point.items():
             costs[name].append(value)
     for name in SCHEMES:
         series.add_column(name, costs[name])

@@ -10,10 +10,11 @@ one-keytree cost near beta = 0.8, then *improves* again toward beta = 1
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.analysis.losshomog import multi_tree_cost, one_keytree_cost
 from repro.analysis.misplacement import misplaced_partition_specs
+from repro.perf.parallel import parallel_map
 from repro.experiments.defaults import (
     SECTION4_DEPARTURES,
     SECTION4_GROUP_SIZE,
@@ -29,6 +30,15 @@ def default_beta_grid() -> list:
     return [round(0.05 * i, 2) for i in range(0, 21)]
 
 
+def _fig7_point(item: Tuple) -> float:
+    """Mis-partitioned cost at one beta; picklable for process pools."""
+    beta, alpha, group_size, departures, degree, high_loss, low_loss = item
+    specs = misplaced_partition_specs(
+        group_size, alpha, high_loss, low_loss, beta
+    )
+    return multi_tree_cost(specs, departures, degree)
+
+
 def fig7_series(
     beta_values: Optional[Iterable[float]] = None,
     alpha: float = 0.2,
@@ -37,6 +47,7 @@ def fig7_series(
     degree: int = TREE_DEGREE,
     high_loss: float = SECTION4_HIGH_LOSS,
     low_loss: float = SECTION4_LOW_LOSS,
+    workers: int = 1,
 ) -> Series:
     """Rekeying cost (# keys) vs misplaced fraction ``beta``."""
     betas = list(beta_values) if beta_values is not None else default_beta_grid()
@@ -52,17 +63,17 @@ def fig7_series(
         x_label="beta",
         x_values=[float(b) for b in betas],
     )
-    one, mis, correct = [], [], []
-    for beta in betas:
-        specs = misplaced_partition_specs(
-            group_size, alpha, high_loss, low_loss, beta
-        )
-        mis.append(multi_tree_cost(specs, departures, degree))
-        one.append(baseline)
-        correct.append(correctly)
-    series.add_column("one-keytree", one)
+    mis = parallel_map(
+        _fig7_point,
+        [
+            (beta, alpha, group_size, departures, degree, high_loss, low_loss)
+            for beta in betas
+        ],
+        workers,
+    )
+    series.add_column("one-keytree", [baseline] * len(betas))
     series.add_column("mis-partitioned", mis)
-    series.add_column("correctly-partitioned", correct)
+    series.add_column("correctly-partitioned", [correctly] * len(betas))
     series.notes.append(
         "paper: gain decays with beta, ~parity with one-keytree near "
         "beta=0.8, improves again at beta=1 (populations fully swapped)"

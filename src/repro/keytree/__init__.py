@@ -36,6 +36,7 @@ from repro.keytree.node import Node
 from repro.keytree.oft import OneWayFunctionTree
 from repro.keytree.probabilistic import HuffmanKeyTree
 from repro.keytree.queuepartition import QueuePartition
+from repro.keytree.sharded import ShardedKeyTree, shard_of
 from repro.keytree.stats import TreeStats, collect_stats
 from repro.keytree.subsetcover import CompleteSubtreeCenter, CompleteSubtreeReceiver
 from repro.keytree.tree import KeyTree
@@ -52,6 +53,8 @@ __all__ = [
     "OneWayFunctionTree",
     "QueuePartition",
     "RekeyMessage",
+    "ShardedKeyTree",
     "TreeStats",
     "collect_stats",
+    "shard_of",
 ]

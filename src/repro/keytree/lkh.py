@@ -295,8 +295,16 @@ class LkhRekeyer:
         the wrapping key; members recover the keys bottom-up (deepest
         first), which :meth:`repro.members.member.Member.process_rekey`
         implements as a fixed-point scan.
+
+        Deduplication preserves the caller's marking order (``set`` would
+        iterate in address order), so equal-depth nodes refresh — and
+        consume generator draws — in a deterministic sequence: identical
+        batches yield byte-identical messages, which the sharded server's
+        backend-invariance contract depends on.
         """
-        marked_list = sorted(set(marked), key=lambda n: n.depth, reverse=True)
+        marked_list = sorted(
+            dict.fromkeys(marked), key=lambda n: n.depth, reverse=True
+        )
         for node in marked_list:
             node.key = self.keygen.rekey(node.key)
             message.updated.append(node.key.handle)

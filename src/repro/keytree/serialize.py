@@ -134,3 +134,35 @@ def tree_from_dict(data: Dict, keygen: Optional[KeyGenerator] = None) -> KeyTree
     tree._seq_value = int(data["seq"])
     tree.validate()
     return tree
+
+
+def tree_with_stream_to_dict(tree: KeyTree, epoch: int = 1) -> Dict:
+    """Serialize a tree *together with its private key-generator stream*.
+
+    Sharded servers give every shard subtree its own :class:`KeyGenerator`
+    stream (so shards rekey independently of executor backend and lane
+    count).  A shard dump therefore must carry the stream state alongside
+    the structure — attachment heaps included via :func:`tree_to_dict` —
+    plus the shard rekeyer's message epoch, or a restored shard would draw
+    different key material than the live one.
+    """
+    return {
+        "tree": tree_to_dict(tree),
+        "stream": tree.keygen.state(),
+        "epoch": int(epoch),
+    }
+
+
+def tree_with_stream_from_dict(data: Dict) -> tuple:
+    """Rebuild ``(tree, epoch)`` from :func:`tree_with_stream_to_dict`.
+
+    The returned tree's ``keygen`` is the restored stream with its counter
+    pinned last (tree construction consumes a draw that must not count),
+    so post-restore rekeys replay the exact key sequence of the live tree.
+    """
+    stream = data["stream"]
+    keygen = KeyGenerator.from_state(stream)
+    tree = tree_from_dict(data["tree"], keygen=keygen)
+    keygen._root = bytes.fromhex(stream["root"])
+    keygen._counter = int(stream["counter"])
+    return tree, int(data.get("epoch", 1))

@@ -28,14 +28,21 @@ import json
 import platform
 import random
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.crypto.wrap import deferred_wraps
 from repro.members.member import Member
 from repro.perf.instrumentation import PerfRecorder, recording
+from repro.perf.parallel import (
+    PAYLOAD_FULL,
+    PAYLOAD_HANDLES,
+    available_cpus,
+    parallel_map,
+)
 from repro.server.onetree import OneTreeServer
+from repro.server.sharded import ShardedOneTreeServer
 
 COST_ONLY = "cost-only"
 FULL_CRYPTO = "full-crypto"
@@ -70,10 +77,25 @@ class BenchScenario:
     compare_baseline: bool = False
     degree: int = 4
     seed: int = 7
+    #: ``"one"`` (OneTreeServer) or ``"sharded"`` (ShardedOneTreeServer).
+    server: str = "one"
+    #: Sharded cells only — the *protocol* parameter (fixes cost/payload).
+    shards: int = 1
+    #: Sharded cells only — pure execution parameters (no payload effect);
+    #: cells with a non-serial backend also run a serial reference and
+    #: record ``speedup_vs_serial``.
+    workers: int = 1
+    backend: str = "serial"
 
 
 def standard_scenarios() -> List[BenchScenario]:
-    """The full matrix: cost-only up to 1M members, full-crypto to 10k."""
+    """The full matrix: cost-only up to 1M members, full-crypto to 10k.
+
+    The sharded family varies the shard count (1 vs 4 vs 8 — a protocol
+    parameter, so cells with different shard counts price differently) and,
+    at fixed shard count, the executor backend/worker count (pure execution
+    parameters — ``mean_batch_cost`` must be identical across them).
+    """
     return [
         BenchScenario("cost-only-1k", 1_000, COST_ONLY, 5, 16, 500, True),
         BenchScenario("cost-only-10k", 10_000, COST_ONLY, 5, 32, 1_000, True),
@@ -81,6 +103,45 @@ def standard_scenarios() -> List[BenchScenario]:
         BenchScenario("cost-only-1m", 1_000_000, COST_ONLY, 3, 64, 1_000, False),
         BenchScenario("full-crypto-1k", 1_000, FULL_CRYPTO, 5, 16, 0),
         BenchScenario("full-crypto-10k", 10_000, FULL_CRYPTO, 3, 32, 0),
+        # Sharded family — cost-only 100k across shard counts and backends.
+        BenchScenario(
+            "sharded-s1-cost-100k", 100_000, COST_ONLY, 3, 64, 1_000,
+            server="sharded", shards=1,
+        ),
+        BenchScenario(
+            "sharded-s4-cost-100k", 100_000, COST_ONLY, 3, 64, 1_000,
+            server="sharded", shards=4,
+        ),
+        BenchScenario(
+            "sharded-s4-cost-100k-thread-w4", 100_000, COST_ONLY, 3, 64, 1_000,
+            server="sharded", shards=4, workers=4, backend="thread",
+        ),
+        BenchScenario(
+            "sharded-s4-cost-100k-process-w4", 100_000, COST_ONLY, 3, 64, 1_000,
+            server="sharded", shards=4, workers=4, backend="process",
+        ),
+        BenchScenario(
+            "sharded-s8-cost-100k-process-w8", 100_000, COST_ONLY, 3, 64, 1_000,
+            server="sharded", shards=8, workers=8, backend="process",
+        ),
+        # Sharded cost-only at 1M members, serial vs process.
+        BenchScenario(
+            "sharded-s8-cost-1m", 1_000_000, COST_ONLY, 2, 64, 500,
+            server="sharded", shards=8,
+        ),
+        BenchScenario(
+            "sharded-s8-cost-1m-process-w8", 1_000_000, COST_ONLY, 2, 64, 500,
+            server="sharded", shards=8, workers=8, backend="process",
+        ),
+        # Sharded full-crypto at 10k (real ciphertexts cross the executor).
+        BenchScenario(
+            "sharded-s4-full-10k", 10_000, FULL_CRYPTO, 3, 32, 0,
+            server="sharded", shards=4,
+        ),
+        BenchScenario(
+            "sharded-s4-full-10k-process-w4", 10_000, FULL_CRYPTO, 3, 32, 0,
+            server="sharded", shards=4, workers=4, backend="process",
+        ),
     ]
 
 
@@ -90,11 +151,40 @@ def quick_scenarios() -> List[BenchScenario]:
         BenchScenario("cost-only-1k", 1_000, COST_ONLY, 5, 16, 500, True),
         BenchScenario("cost-only-10k", 10_000, COST_ONLY, 3, 32, 1_000, True),
         BenchScenario("full-crypto-1k", 1_000, FULL_CRYPTO, 3, 16, 0),
+        BenchScenario(
+            "sharded-s4-cost-1k", 1_000, COST_ONLY, 3, 16, 500,
+            server="sharded", shards=4,
+        ),
+        BenchScenario(
+            "sharded-s4-cost-1k-process-w2", 1_000, COST_ONLY, 3, 16, 500,
+            server="sharded", shards=4, workers=2, backend="process",
+        ),
     ]
 
 
-def _held_versions_of(server: OneTreeServer, member_id: str) -> Dict[str, int]:
+def _build_bench_server(scenario: BenchScenario):
+    if scenario.server == "sharded":
+        payload = (
+            PAYLOAD_FULL if scenario.mode == FULL_CRYPTO else PAYLOAD_HANDLES
+        )
+        return ShardedOneTreeServer(
+            shards=scenario.shards,
+            workers=scenario.workers,
+            backend=scenario.backend,
+            degree=scenario.degree,
+            group=scenario.name,
+            payload=payload,
+        )
+    return OneTreeServer(degree=scenario.degree, group=scenario.name)
+
+
+def _held_versions_of(server, member_id: str) -> Dict[str, int]:
     """What ``member_id`` holds right now, from the authoritative tree."""
+    if isinstance(server, ShardedOneTreeServer):
+        return {
+            key.key_id: key.version
+            for key in server._current_keys_of(member_id)
+        }
     held = {
         node.key.key_id: node.key.version
         for node in server.tree.path_of(member_id)
@@ -133,7 +223,7 @@ def _run_variant(scenario: BenchScenario, optimized: bool) -> Dict[str, object]:
     total_batch_cost = 0
 
     with recording(recorder), deferred_wraps(enabled=deferred):
-        server = OneTreeServer(degree=scenario.degree, group=scenario.name)
+        server = _build_bench_server(scenario)
         with recorder.timeit("build"):
             member_ids = [f"m{i}" for i in range(scenario.members)]
             registrations = {
@@ -204,6 +294,8 @@ def _run_variant(scenario: BenchScenario, optimized: bool) -> Dict[str, object]:
                     raise AssertionError(
                         f"receiver {member.member_id} missed the group key"
                     )
+        if isinstance(server, ShardedOneTreeServer):
+            server.close()
 
     phases = {
         f"{name}_s": round(timer.total, 6)
@@ -247,7 +339,13 @@ def _run_variant(scenario: BenchScenario, optimized: bool) -> Dict[str, object]:
 
 
 def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
-    """Run one scenario (optimized, plus baseline when configured)."""
+    """Run one scenario (optimized, plus baseline when configured).
+
+    Sharded cells with a non-serial backend also run the same protocol
+    configuration on the serial backend and record ``speedup_vs_serial``
+    plus whether ``mean_batch_cost`` matched — the backend must change
+    wall-clock only, never the payload.
+    """
     optimized = _run_variant(scenario, optimized=True)
     gc.collect()
     baseline = None
@@ -257,6 +355,22 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
     speedup = None
     if baseline is not None and optimized["total_s"]:
         speedup = round(baseline["total_s"] / optimized["total_s"], 2)
+
+    serial_ref = None
+    speedup_vs_serial = None
+    cost_matches_serial = None
+    if scenario.server == "sharded" and scenario.backend != "serial":
+        reference = replace(scenario, backend="serial", workers=1)
+        serial_ref = _run_variant(reference, optimized=True)
+        gc.collect()
+        if optimized["total_s"]:
+            speedup_vs_serial = round(
+                serial_ref["total_s"] / optimized["total_s"], 2
+            )
+        cost_matches_serial = (
+            serial_ref["mean_batch_cost"] == optimized["mean_batch_cost"]
+        )
+
     return {
         "name": scenario.name,
         "members": scenario.members,
@@ -264,9 +378,16 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
         "rounds": scenario.rounds,
         "churn": scenario.churn,
         "sample_receivers": scenario.sample_receivers,
+        "server": scenario.server,
+        "shards": scenario.shards,
+        "workers": scenario.workers,
+        "backend": scenario.backend,
         "optimized": optimized,
         "baseline": baseline,
         "speedup": speedup,
+        "serial_ref": serial_ref,
+        "speedup_vs_serial": speedup_vs_serial,
+        "mean_batch_cost_matches_serial": cost_matches_serial,
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -276,6 +397,7 @@ def run_bench(
     out_path: Optional[str] = None,
     quick: bool = False,
     progress=None,
+    workers: int = 1,
 ) -> Dict[str, object]:
     """Run the matrix and (optionally) write ``BENCH_hotpath.json``.
 
@@ -288,14 +410,17 @@ def run_bench(
         Where to write the JSON report; None skips writing.
     progress:
         Optional ``callable(str)`` invoked with one line per scenario.
+    workers:
+        ``> 1`` fans whole scenarios out over a process pool (every
+        scenario carries its own seed, so results are position-for-position
+        identical; timings of co-scheduled cells do contend for cores).
     """
     if scenarios is None:
         scenarios = quick_scenarios() if quick else standard_scenarios()
-    results = []
-    for scenario in scenarios:
-        result = run_scenario(scenario)
-        results.append(result)
-        if progress is not None:
+    scenarios = list(scenarios)
+    results = parallel_map(run_scenario, scenarios, workers)
+    if progress is not None:
+        for scenario, result in zip(scenarios, results):
             opt = result["optimized"]
             line = (
                 f"{scenario.name}: {opt['total_s']:.2f}s"
@@ -306,13 +431,20 @@ def run_bench(
                     f", baseline {result['baseline']['total_s']:.2f}s"
                     f" -> {result['speedup']:.1f}x speedup"
                 )
+            if result["speedup_vs_serial"] is not None:
+                line += (
+                    f", serial {result['serial_ref']['total_s']:.2f}s"
+                    f" -> {result['speedup_vs_serial']:.1f}x vs serial"
+                )
             progress(line)
     report = {
-        "version": 1,
+        "version": 2,
         "suite": "hotpath",
         "quick": quick,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "cpus": available_cpus(),
+        "workers": workers,
         "scenarios": results,
         "peak_rss_kb": _peak_rss_kb(),
     }

@@ -22,6 +22,7 @@ from repro.server.base import BatchResult, GroupKeyServer, Registration
 from repro.server.losshomog import LossHomogenizedServer
 from repro.server.onetree import OneTreeServer
 from repro.server.scheduler import PeriodicScheduler
+from repro.server.sharded import ShardedOneTreeServer
 from repro.server.snapshot import restore_server, snapshot_server
 from repro.server.twopartition import TwoPartitionServer
 
@@ -33,6 +34,7 @@ __all__ = [
     "OneTreeServer",
     "PeriodicScheduler",
     "Registration",
+    "ShardedOneTreeServer",
     "TraceEstimate",
     "restore_server",
     "snapshot_server",

@@ -21,6 +21,7 @@ from repro.keytree.serialize import tree_from_dict, tree_to_dict
 from repro.server.base import GroupKeyServer, Registration
 from repro.server.losshomog import LossHomogenizedServer
 from repro.server.onetree import OneTreeServer
+from repro.server.sharded import ShardedOneTreeServer
 from repro.server.twopartition import TwoPartitionServer
 
 FORMAT_VERSION = 1
@@ -135,6 +136,24 @@ def snapshot_server(server: GroupKeyServer) -> Dict:
             str(rate): rekeyer._next_epoch
             for rate, rekeyer in server.rekeyers.items()
         }
+    elif isinstance(server, ShardedOneTreeServer):
+        state["kind"] = "sharded-keytree"
+        state["shards"] = server.shards
+        state["workers"] = server.workers
+        state["backend"] = server.backend
+        state["degree"] = server.sharded.degree
+        state["join_refresh"] = server.join_refresh
+        state["payload"] = server.payload
+        state["dek_stream"] = server._dek_stream.state()
+        if server._dek is not None:
+            state["dek"] = _key_to_dict(server._dek)
+        # Each shard dump carries its tree (attachment heaps included),
+        # its private RNG stream state and its rekeyer epoch, so the
+        # restored server re-derives identical payloads.
+        state["shard_dumps"] = {
+            str(shard): dump
+            for shard, dump in server.sharded.dump_shards().items()
+        }
     else:
         raise TypeError(f"cannot snapshot server type {type(server).__name__}")
     return state
@@ -201,6 +220,22 @@ def restore_server(state: Dict) -> GroupKeyServer:
             server.rekeyers[rate]._next_epoch = int(
                 state["tree_epochs"][rate_text]
             )
+    elif kind == "sharded-keytree":
+        server = ShardedOneTreeServer(
+            shards=int(state["shards"]),
+            workers=int(state["workers"]),
+            backend=state["backend"],
+            degree=int(state["degree"]),
+            group=group,
+            join_refresh=state["join_refresh"],
+            payload=state["payload"],
+        )
+        server.keygen = keygen
+        server._dek_stream = KeyGenerator.from_state(state["dek_stream"])
+        server._dek = _key_from_dict(state["dek"]) if "dek" in state else None
+        server.sharded.load_shards(
+            {int(shard): dump for shard, dump in state["shard_dumps"].items()}
+        )
     else:
         raise ValueError(f"unknown server kind {kind!r}")
 

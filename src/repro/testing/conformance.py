@@ -54,10 +54,16 @@ def scheme_specs() -> List[SchemeSpec]:
     """Every key-server scheme in the repository, battery-ready."""
     from repro.server.losshomog import LossHomogenizedServer
     from repro.server.onetree import OneTreeServer
+    from repro.server.sharded import ShardedOneTreeServer
     from repro.server.twopartition import TwoPartitionServer
 
     return [
         SchemeSpec("one-keytree", lambda: OneTreeServer(degree=4), ()),
+        SchemeSpec(
+            "sharded",
+            lambda: ShardedOneTreeServer(shards=4, degree=4),
+            (),
+        ),
         SchemeSpec(
             "one-keytree-owf",
             lambda: OneTreeServer(degree=4, join_refresh="owf"),

@@ -134,10 +134,16 @@ def _tree_structures(server: GroupKeyServer) -> List[Tuple[str, object]]:
     """(label, KeyTree) pairs for every tree a known server type holds."""
     from repro.server.losshomog import LossHomogenizedServer
     from repro.server.onetree import OneTreeServer
+    from repro.server.sharded import ShardedOneTreeServer
     from repro.server.twopartition import TwoPartitionServer
 
     if isinstance(server, OneTreeServer):
         return [("tree", server.tree)]
+    if isinstance(server, ShardedOneTreeServer):
+        return [
+            (f"shard{shard}", tree)
+            for shard, tree in sorted(server.sharded.local_trees().items())
+        ]
     if isinstance(server, TwoPartitionServer):
         trees: List[Tuple[str, object]] = [("l-tree", server.l_tree)]
         if server.s_tree is not None:

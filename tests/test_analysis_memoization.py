@@ -1,0 +1,131 @@
+"""Memoized analytic kernels: hits accrue, and caching never changes values.
+
+The figure sweeps call the same closed-form kernels (Ne(N, L) batch cost,
+WKA-BKR E[M], FEC block-loss sums, and their combinatoric helpers) with
+heavily repeated arguments, so each carries an ``lru_cache``.  These tests
+pin both halves of that bargain: the caches actually get hit during a
+real sweep, and a cached call returns exactly what the uncached kernel
+(``.__wrapped__``) returns.
+"""
+
+import pytest
+
+from repro.analysis.batchcost import expected_batch_cost, expected_batch_cost_full
+from repro.analysis.combinatorics import log_choose, subtree_hit_probability
+from repro.analysis.fec import FecParameters, _log_binom_cdf, expected_block_cost
+from repro.analysis.wka import _mixture_key, expected_transmissions
+from repro.experiments.fec_gain import fec_gain_series
+from repro.experiments.fig4 import fig4_series
+from repro.experiments.fig6 import fig6_series
+
+ALL_KERNELS = [
+    expected_batch_cost,
+    expected_batch_cost_full,
+    log_choose,
+    subtree_hit_probability,
+    expected_transmissions,
+    expected_block_cost,
+    _log_binom_cdf,
+]
+
+MIXTURE = [(0.25, 0.2), (0.01, 0.8)]
+
+
+def clear_all():
+    for kernel in ALL_KERNELS:
+        kernel.cache_clear()
+
+
+class TestSweepsHitTheCaches:
+    def test_fig4_sweep_hits_batch_cost_caches(self):
+        clear_all()
+        fig4_series(alpha_values=[0.1, 0.2, 0.3])
+        assert expected_batch_cost.cache_info().hits > 0
+        assert log_choose.cache_info().hits > 0
+
+    def test_fig6_sweep_hits_transmission_cache(self):
+        clear_all()
+        fig6_series(alpha_values=[0.2, 0.4], group_size=1024, departures=16)
+        assert expected_transmissions.cache_info().hits > 0
+        # The population is fixed across alphas, so the per-subtree hit
+        # probabilities repeat from the second sweep point on.
+        assert subtree_hit_probability.cache_info().hits > 0
+
+    def test_fec_sweep_hits_block_cost_caches(self):
+        clear_all()
+        fec_gain_series(alpha_values=[0.2, 0.4], group_size=1024, departures=16)
+        # Full-size blocks across the schemes share (sent, rate, deficit)
+        # binomial tails even on a cold sweep.
+        assert _log_binom_cdf.cache_info().hits > 0
+        cold = expected_block_cost.cache_info()
+        assert cold.misses > 0
+        fec_gain_series(alpha_values=[0.2, 0.4], group_size=1024, departures=16)
+        warm = expected_block_cost.cache_info()
+        assert warm.misses == cold.misses
+        assert warm.hits > cold.hits
+
+    def test_repeated_sweep_is_all_hits(self):
+        fig4_series(alpha_values=[0.15])
+        before = expected_batch_cost.cache_info()
+        fig4_series(alpha_values=[0.15])
+        after = expected_batch_cost.cache_info()
+        assert after.misses == before.misses
+        assert after.hits > before.hits
+
+
+class TestCachedEqualsUncached:
+    """Byte-for-byte equality between the cached and bypassed kernels."""
+
+    @pytest.mark.parametrize("n,k", [(10, 3), (1024.0, 17.0), (5, 0)])
+    def test_log_choose(self, n, k):
+        assert log_choose(n, k) == log_choose.__wrapped__(n, k)
+
+    @pytest.mark.parametrize(
+        "group,departures,subtree",
+        [(1024.0, 16.0, 64.0), (4096.0, 100.0, 4.0)],
+    )
+    def test_subtree_hit_probability(self, group, departures, subtree):
+        assert subtree_hit_probability(
+            group, departures, subtree
+        ) == subtree_hit_probability.__wrapped__(group, departures, subtree)
+
+    @pytest.mark.parametrize("n,l", [(1024.0, 16.0), (8192.0, 100.0)])
+    def test_expected_batch_cost(self, n, l):
+        assert expected_batch_cost(n, l) == expected_batch_cost.__wrapped__(n, l)
+        assert expected_batch_cost_full(
+            n, l
+        ) == expected_batch_cost_full.__wrapped__(n, l)
+
+    @pytest.mark.parametrize("receivers", [1.0, 37.5, 500.0])
+    def test_expected_transmissions(self, receivers):
+        cached = expected_transmissions(receivers, MIXTURE)
+        direct = expected_transmissions.__wrapped__(
+            receivers, _mixture_key(MIXTURE)
+        )
+        assert cached == direct
+
+    def test_expected_block_cost(self):
+        params = FecParameters()
+        cached = expected_block_cost(32, 200.0, MIXTURE, params)
+        direct = expected_block_cost.__wrapped__(
+            32, 200.0, _mixture_key(MIXTURE), params
+        )
+        assert cached == direct
+
+    def test_log_binom_cdf(self):
+        assert _log_binom_cdf(40, 0.75, 12) == _log_binom_cdf.__wrapped__(
+            40, 0.75, 12
+        )
+
+    def test_mixture_key_canonicalizes_lists_and_tuples(self):
+        as_list = expected_transmissions(64.0, [(0.25, 0.2), (0.01, 0.8)])
+        as_tuple = expected_transmissions(64.0, ((0.25, 0.2), (0.01, 0.8)))
+        assert as_list == as_tuple
+
+    def test_cache_bypass_on_whole_series(self):
+        """A full fig4 sweep computed twice — once against warm caches,
+        once cold — is identical (memoization is invisible)."""
+        warm = fig4_series(alpha_values=[0.1, 0.3, 0.5])
+        clear_all()
+        cold = fig4_series(alpha_values=[0.1, 0.3, 0.5])
+        assert cold.columns == warm.columns

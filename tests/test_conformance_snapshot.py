@@ -26,7 +26,14 @@ PREFIX = Scenario.parse(
 )
 SUFFIX = Scenario.parse("+g -a . t+60 -c +h . !*", name="suffix")
 
-SNAPSHOT_SCHEMES = ["one-keytree", "one-keytree-owf", "qt", "tt", "loss-homogenized"]
+SNAPSHOT_SCHEMES = [
+    "one-keytree",
+    "one-keytree-owf",
+    "sharded",
+    "qt",
+    "tt",
+    "loss-homogenized",
+]
 
 
 def run_prefix(spec):
