@@ -11,7 +11,6 @@ duration pytest already measures) into a session-scoped
 diffed without re-reading terminal output.
 """
 
-import json
 import sys
 import time
 from pathlib import Path
@@ -21,6 +20,9 @@ OUT_DIR = BENCH_DIR / "out"
 TIMES_FILE = OUT_DIR / "bench_times.json"
 
 sys.path.insert(0, str(BENCH_DIR))
+sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+
+from repro.perf.timesfile import merge_update  # noqa: E402
 
 _bench_times = {}
 _session_start = None
@@ -41,17 +43,16 @@ def pytest_runtest_logreport(report):
 def pytest_sessionfinish(session, exitstatus):
     if not _bench_times:
         return
-    OUT_DIR.mkdir(exist_ok=True)
-    # Merge-preserve foreign keys (``python -m repro bench`` records its
-    # session under "repro_bench" in the same file).
-    try:
-        payload = json.loads(TIMES_FILE.read_text(encoding="utf-8"))
-    except (FileNotFoundError, ValueError):
-        payload = {}
-    payload["session_wall_s"] = (
-        round(time.time() - _session_start, 4)
-        if _session_start is not None
-        else None
+    # Atomic merge-preserve of foreign keys (``python -m repro bench``
+    # records its session under "repro_bench" in the same file).
+    merge_update(
+        TIMES_FILE,
+        {
+            "session_wall_s": (
+                round(time.time() - _session_start, 4)
+                if _session_start is not None
+                else None
+            ),
+            "benchmarks": dict(sorted(_bench_times.items())),
+        },
     )
-    payload["benchmarks"] = dict(sorted(_bench_times.items()))
-    TIMES_FILE.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

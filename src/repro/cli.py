@@ -8,14 +8,21 @@ Commands
 ``validate``  run the model-vs-simulation cross validation
 ``simulate``  run one end-to-end simulated session and summarize it
 ``bench``     run the hot-path scenario matrix, emit BENCH_hotpath.json
+``metrics``   run a small observed session and dump the metrics exposition
 ``trace``     generate a synthetic MBone-style membership trace
+``trace summarize`` summarize an observability trace file (spans/events)
 ``tracestats`` summarize a trace file ([AA97]-style statistics)
+
+``simulate``, ``bench`` and ``chaos`` accept ``--trace [FILE]`` and
+``--metrics [FILE]`` to run under the :mod:`repro.obs` observability
+layer and write a JSONL trace / Prometheus exposition of the run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fec")
@@ -156,11 +163,41 @@ def _build_transport(name: str):
     raise ValueError(f"unknown transport {name!r}")
 
 
+@contextmanager
+def _observed(args: argparse.Namespace):
+    """Run the body under :func:`repro.obs.observe` when requested.
+
+    Activates the observability layer iff the command was given
+    ``--trace`` and/or ``--metrics``; on exit writes the requested
+    artifacts.  Yields the :class:`repro.obs.Observation` bundle (or
+    ``None`` when observability stays off, keeping the hot path at its
+    disabled-probe cost).
+    """
+    trace_path = getattr(args, "trace_out", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if trace_path is None and metrics_path is None:
+        yield None
+        return
+    import repro.obs as obs
+
+    with obs.observe() as bundle:
+        yield bundle
+    if trace_path is not None:
+        count = obs.write_trace(bundle, trace_path)
+        print(f"wrote {count} trace records to {trace_path}")
+    if metrics_path is not None:
+        obs.write_metrics(bundle.registry, metrics_path)
+        print(f"wrote metrics exposition to {metrics_path}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.members.durations import TwoClassDuration
     from repro.members.population import LossPopulation
     from repro.sim.simulation import GroupRekeyingSimulation, SimulationConfig
 
+    if args.quick:
+        args.horizon = min(args.horizon, 600.0)
+        args.warmup = min(args.warmup, 2)
     server = _build_server(
         args.scheme,
         args.degree,
@@ -189,7 +226,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         cost_only=args.cost_only,
         deferred_wrap=args.deferred_wrap,
     )
-    metrics = GroupRekeyingSimulation(server, config).run()
+    with _observed(args):
+        metrics = GroupRekeyingSimulation(server, config).run()
     skip = min(len(metrics.records) // 2, args.warmup)
     print(f"scheme:             {server.name}")
     print(f"rekeyings:          {metrics.rekey_count}")
@@ -212,47 +250,48 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _record_bench_session(report: dict, out: str) -> None:
     """Append this ``repro bench`` session to ``benchmarks/out/bench_times.json``.
 
-    Creates ``benchmarks/out/`` if missing and merge-preserves whatever the
-    pytest benchmark suite (or an earlier session) already wrote there.
+    Merge-preserves whatever the pytest benchmark suite (or an earlier
+    session) already wrote there, through the atomic
+    :func:`repro.perf.timesfile.merge_update` (temp file + ``os.replace``
+    so a crashed or concurrent writer can't truncate the file).
     """
-    import json
     from pathlib import Path
 
+    from repro.perf.timesfile import merge_update
+
     times_file = Path("benchmarks") / "out" / "bench_times.json"
-    times_file.parent.mkdir(parents=True, exist_ok=True)
-    try:
-        payload = json.loads(times_file.read_text(encoding="utf-8"))
-    except (FileNotFoundError, ValueError):
-        payload = {}
-    payload["repro_bench"] = {
-        "out": out,
-        "quick": report["quick"],
-        "workers": report["workers"],
-        "cpus": report["cpus"],
-        "scenarios": {
-            cell["name"]: {
-                "total_s": cell["optimized"]["total_s"],
-                "shards": cell["shards"],
-                "workers": cell["workers"],
-                "backend": cell["backend"],
+    merge_update(
+        times_file,
+        {
+            "repro_bench": {
+                "out": out,
+                "quick": report["quick"],
+                "workers": report["workers"],
+                "cpus": report["cpus"],
+                "scenarios": {
+                    cell["name"]: {
+                        "total_s": cell["optimized"]["total_s"],
+                        "shards": cell["shards"],
+                        "workers": cell["workers"],
+                        "backend": cell["backend"],
+                    }
+                    for cell in report["scenarios"]
+                },
             }
-            for cell in report["scenarios"]
         },
-    }
-    times_file.write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import run_bench
 
-    report = run_bench(
-        out_path=args.out,
-        quick=args.quick,
-        progress=print,
-        workers=args.workers,
-    )
+    with _observed(args):
+        report = run_bench(
+            out_path=args.out,
+            quick=args.quick,
+            progress=print,
+            workers=args.workers,
+        )
     print(f"wrote {args.out}")
     _record_bench_session(report, args.out)
     worst = None
@@ -273,6 +312,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if mismatched:
         print(
             "ERROR: backend changed mean_batch_cost in: " + ", ".join(mismatched),
+            file=sys.stderr,
+        )
+        return 1
+    overhead = report.get("obs_overhead")
+    if overhead is not None and not overhead["pass"]:
+        worst = max(overhead["disabled_ns"].values())
+        print(
+            f"ERROR: disabled observability probes cost {worst:.0f} ns/call "
+            f"(budget {overhead['budget_ns']:.0f} ns)",
             file=sys.stderr,
         )
         return 1
@@ -298,14 +346,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         schedules = tuple(
             s for s in schedules if s in ("crash-restore", "blackout-resync")
         ) or schedules[:2]
-    report = run_chaos(
-        seed=args.seed,
-        horizon=args.horizon,
-        schemes=schemes,
-        schedules=schedules,
-        out_path=args.out,
-        progress=print,
-    )
+    with _observed(args):
+        report = run_chaos(
+            seed=args.seed,
+            horizon=args.horizon,
+            schemes=schemes,
+            schedules=schedules,
+            out_path=args.out,
+            progress=print,
+        )
     print(f"wrote {args.out}")
     for run in report["runs"]:
         recoveries = run["recoveries"].get("count", 0)
@@ -345,6 +394,60 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a small observed session and dump the metrics exposition."""
+    import json
+
+    import repro.obs as obs
+    from repro.members.durations import TwoClassDuration
+    from repro.members.population import LossPopulation
+    from repro.sim.simulation import GroupRekeyingSimulation, SimulationConfig
+
+    server = _build_server(args.scheme, degree=4, s_period=600.0)
+    transport = _build_transport(args.transport)
+    config = SimulationConfig(
+        arrival_rate=1.0,
+        rekey_period=60.0,
+        horizon=args.horizon,
+        duration_model=TwoClassDuration(),
+        loss_population=(
+            LossPopulation.two_point() if transport is not None else None
+        ),
+        transport=transport,
+        verify=False,
+        seed=args.seed,
+    )
+    with obs.observe() as bundle:
+        GroupRekeyingSimulation(server, config).run()
+    if args.format == "json":
+        print(json.dumps(bundle.registry.to_json(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(bundle.registry.to_prometheus())
+    return 0
+
+
+def _cmd_trace_summarize(argv: List[str]) -> int:
+    """``repro trace summarize <file>`` — dispatched before argparse in
+    :func:`main` because the ``trace`` subcommand's positional output path
+    (the synthetic-membership-trace generator) predates it."""
+    import repro.obs as obs
+    from repro.obs.report import build_summary, format_summary
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace summarize",
+        description="summarize an observability trace file",
+    )
+    parser.add_argument("tracefile", help="JSONL trace written by --trace")
+    parser.add_argument(
+        "--top", type=int, default=10, help="span names to list by total wall time"
+    )
+    args = parser.parse_args(argv)
+    records = obs.read_trace(args.tracefile)
+    obs.validate_trace_records(records)
+    print(format_summary(build_summary(records, top=args.top)))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.members.durations import TwoClassDuration
     from repro.members.trace import MBoneTraceGenerator, write_trace
@@ -381,6 +484,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_flags(p: argparse.ArgumentParser, stem: str) -> None:
+        p.add_argument(
+            "--trace",
+            dest="trace_out",
+            nargs="?",
+            const=f"{stem}_trace.jsonl",
+            default=None,
+            metavar="FILE",
+            help="record an observability trace (spans + events + metrics "
+            f"snapshot) to FILE (default {stem}_trace.jsonl)",
+        )
+        p.add_argument(
+            "--metrics",
+            dest="metrics_out",
+            nargs="?",
+            const=f"{stem}_metrics.prom",
+            default=None,
+            metavar="FILE",
+            help="write the Prometheus metrics exposition to FILE "
+            f"(default {stem}_metrics.prom)",
+        )
 
     workers_help = (
         "fan sweep points out over a process pool of N workers "
@@ -473,6 +598,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="produce rekey payloads with lazy ciphertexts (no HMAC work "
         "unless something reads them)",
     )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized session (caps --horizon at 600 s and --warmup at 2)",
+    )
+    add_obs_flags(p, "simulate")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -493,6 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run whole scenarios over a process pool of N workers",
     )
+    add_obs_flags(p, "bench")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -520,7 +652,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", default="BENCH_chaos.json", help="where to write the report"
     )
+    add_obs_flags(p, "chaos")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a small observed session and print the metrics exposition",
+    )
+    p.add_argument(
+        "--scheme",
+        choices=("one", "sharded", "qt", "tt", "pt", "losshomog", "random-trees"),
+        default="tt",
+    )
+    p.add_argument(
+        "--transport",
+        choices=("none", "wka-bkr", "multi-send", "fec"),
+        default="wka-bkr",
+    )
+    p.add_argument("--horizon", type=float, default=600.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="exposition format (Prometheus text or the JSON snapshot)",
+    )
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("trace", help="generate a synthetic MBone-style trace")
     p.add_argument("output")
@@ -541,6 +698,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # ``trace`` already takes a positional output path (the synthetic
+    # membership-trace generator), so the observability summarizer is
+    # dispatched here rather than fighting argparse over the word.
+    if argv[:2] == ["trace", "summarize"]:
+        return _cmd_trace_summarize(argv[2:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -251,7 +251,13 @@ def wrap_key(wrapping: KeyMaterial, payload: KeyMaterial) -> EncryptedKey:
 
     In deferred mode (see :func:`set_wrap_mode`) the returned record
     postpones the actual encryption until its ciphertext is first read.
+
+    This is the universal wrap choke point, so the ``crypto.wraps``
+    counter here is mode- and backend-independent: sharded process-pool
+    workers count their shard's wraps locally and ship the delta home,
+    making serial and ``--workers N`` totals comparable.
     """
+    perf_count("crypto.wraps")
     if _wrap_mode == "deferred":
         return LazyEncryptedKey(wrapping, payload)
     nonce = _nonce(wrapping, payload.key_id, payload.version)

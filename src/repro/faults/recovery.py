@@ -28,6 +28,9 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional
 
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+
 
 class SyncState(Enum):
     """A receiver's rekey-epoch synchrony, as the server sees it."""
@@ -122,6 +125,14 @@ class SyncTracker:
             # Multicast cannot repair an OUT_OF_SYNC receiver (it lacks the
             # wrapping keys); only catch_up() may transition it back.
             return
+        if slot.state is not SyncState.IN_SYNC:
+            obs_events.emit(
+                "sync_transition",
+                member_id=member_id,
+                from_state=slot.state.value,
+                to_state=SyncState.IN_SYNC.value,
+                epoch=epoch,
+            )
         slot.state = SyncState.IN_SYNC
         slot.synced_epoch = max(slot.synced_epoch, epoch)
         slot.desynced_at = None
@@ -137,6 +148,14 @@ class SyncTracker:
             slot.state = SyncState.LAGGING
             slot.desynced_at = now
             slot.desynced_epoch = epoch
+            obs_events.emit(
+                "sync_transition",
+                time=now,
+                member_id=member_id,
+                from_state=SyncState.IN_SYNC.value,
+                to_state=SyncState.LAGGING.value,
+                epoch=epoch,
+            )
 
     def mark_out_of_sync(self, member_id: str, epoch: int, now: float) -> None:
         """The transport abandoned this receiver (or it missed a whole
@@ -147,7 +166,16 @@ class SyncTracker:
         if slot.desynced_at is None:
             slot.desynced_at = now
             slot.desynced_epoch = epoch
+        obs_events.emit(
+            "sync_transition",
+            time=now,
+            member_id=member_id,
+            from_state=slot.state.value,
+            to_state=SyncState.OUT_OF_SYNC.value,
+            epoch=epoch,
+        )
         slot.state = SyncState.OUT_OF_SYNC
+        obs_metrics.inc("sync.out_of_sync")
 
     def mark_recovered(
         self, member_id: str, epoch: int, now: float, keys_sent: int
@@ -166,6 +194,30 @@ class SyncTracker:
             keys_sent=keys_sent,
         )
         self.events.append(event)
+        if slot.state is not SyncState.IN_SYNC:
+            obs_events.emit(
+                "sync_transition",
+                time=now,
+                member_id=member_id,
+                from_state=slot.state.value,
+                to_state=SyncState.IN_SYNC.value,
+                epoch=epoch,
+            )
+        obs_events.emit(
+            "resync",
+            time=now,
+            member_id=member_id,
+            keys_sent=event.keys_sent,
+            epochs_missed=event.epochs_missed,
+            latency=event.latency,
+        )
+        obs_metrics.inc("sync.recoveries")
+        obs_metrics.observe("sync.recovery_keys", event.keys_sent)
+        obs_metrics.observe(
+            "sync.recovery_latency",
+            event.latency,
+            buckets=obs_metrics.LATENCY_BUCKETS_S,
+        )
         slot.state = SyncState.IN_SYNC
         slot.synced_epoch = epoch
         slot.desynced_at = None

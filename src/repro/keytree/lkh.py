@@ -32,6 +32,7 @@ from repro.crypto.material import KeyGenerator, KeyMaterial
 from repro.crypto.wrap import EncryptedKey, WrapIndex, wrap_key
 from repro.keytree.node import Node
 from repro.keytree.tree import KeyTree
+from repro.obs import tracing as obs_tracing
 
 
 @dataclass
@@ -213,30 +214,32 @@ class LkhRekeyer:
         message = RekeyMessage(group=self.tree.name, epoch=self._take_epoch())
         marked: Dict[str, Node] = {}
 
-        for member_id in departures:
-            for node in self.tree.remove_member(member_id):
-                marked[node.node_id] = node
-            message.departed.append(member_id)
+        with obs_tracing.span("mark") as mark_span:
+            for member_id in departures:
+                for node in self.tree.remove_member(member_id):
+                    marked[node.node_id] = node
+                message.departed.append(member_id)
 
-        for member_id, key in joins:
-            leaf = self.tree.add_member(member_id, key)
-            for node in leaf.path_to_root()[1:]:
-                if node.node_id in marked:
-                    # Every earlier marking covered its whole remaining
-                    # path to the root, so this node's ancestors are
-                    # already marked too — stop walking.  Turns mass-join
-                    # marking from O(joins · depth) into roughly
-                    # O(marked nodes).
-                    break
-                marked[node.node_id] = node
-            message.joined.append(member_id)
+            for member_id, key in joins:
+                leaf = self.tree.add_member(member_id, key)
+                for node in leaf.path_to_root()[1:]:
+                    if node.node_id in marked:
+                        # Every earlier marking covered its whole remaining
+                        # path to the root, so this node's ancestors are
+                        # already marked too — stop walking.  Turns mass-join
+                        # marking from O(joins · depth) into roughly
+                        # O(marked nodes).
+                        break
+                    marked[node.node_id] = node
+                message.joined.append(member_id)
 
-        # Removals may have spliced out previously marked nodes; drop them.
-        live_marked = [
-            node for node in marked.values() if self.tree._alive(node)
-        ]
-        if force_root and not any(node is self.tree.root for node in live_marked):
-            live_marked.append(self.tree.root)
+            # Removals may have spliced out previously marked nodes; drop them.
+            live_marked = [
+                node for node in marked.values() if self.tree._alive(node)
+            ]
+            if force_root and not any(node is self.tree.root for node in live_marked):
+                live_marked.append(self.tree.root)
+            mark_span.set("marked", len(live_marked))
 
         self._refresh_and_wrap(live_marked, message)
         return message
@@ -305,12 +308,15 @@ class LkhRekeyer:
         marked_list = sorted(
             dict.fromkeys(marked), key=lambda n: n.depth, reverse=True
         )
-        for node in marked_list:
-            node.key = self.keygen.rekey(node.key)
-            message.updated.append(node.key.handle)
-        for node in marked_list:
-            for child in node.children:
-                message.encrypted_keys.append(wrap_key(child.key, node.key))
+        with obs_tracing.span("generate", refreshed=len(marked_list)):
+            for node in marked_list:
+                node.key = self.keygen.rekey(node.key)
+                message.updated.append(node.key.handle)
+        with obs_tracing.span("wrap") as wrap_span:
+            for node in marked_list:
+                for child in node.children:
+                    message.encrypted_keys.append(wrap_key(child.key, node.key))
+            wrap_span.set("wraps", len(message.encrypted_keys))
 
     def refresh_root(self) -> RekeyMessage:
         """Roll only the root (sub-group) key, wrapped under its children.

@@ -1,0 +1,83 @@
+"""Cross-validate a trace file against a metrics exposition.
+
+``python -m repro.obs.check trace.jsonl metrics.prom`` — the CI
+``obs-smoke`` job's teeth.  Verifies that:
+
+1. the Prometheus exposition parses (strict line grammar);
+2. every JSONL record in the trace validates against the schema;
+3. the epoch count agrees across all three planes: the
+   ``repro_server_rekeys_total`` counter in the exposition, the number
+   of ``epoch`` events in the trace, and the ``server.rekeys`` counter
+   inside the trace's embedded metrics snapshot.
+
+Exits 0 and prints one summary line on success; prints the failure and
+exits 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs import read_trace, validate_trace_records
+from repro.obs.metrics import parse_prometheus
+
+
+def check(trace_path: Path, metrics_path: Path) -> str:
+    """Run all checks; returns the summary line, raises ValueError on failure."""
+    records = read_trace(trace_path)
+    counts = validate_trace_records(records)
+
+    exposition = metrics_path.read_text(encoding="utf-8")
+    samples = parse_prometheus(exposition)
+    prom_epochs = samples.get("repro_server_rekeys_total")
+    if prom_epochs is None:
+        raise ValueError("exposition has no repro_server_rekeys_total sample")
+
+    epoch_events = sum(
+        1
+        for record in records
+        if record.get("record") == "event" and record.get("type") == "epoch"
+    )
+
+    snapshot_epochs: Optional[float] = None
+    for record in records:
+        if record.get("record") == "metrics":
+            entry = record["snapshot"].get("server.rekeys")
+            if entry:
+                snapshot_epochs = sum(entry["series"].values())
+    if snapshot_epochs is None:
+        raise ValueError("trace metrics snapshot has no server.rekeys counter")
+
+    if not (prom_epochs == epoch_events == snapshot_epochs):
+        raise ValueError(
+            "epoch counts disagree: "
+            f"exposition={prom_epochs}, trace events={epoch_events}, "
+            f"trace snapshot={snapshot_epochs}"
+        )
+
+    return (
+        f"ok: {counts['span']} spans, {counts['event']} events, "
+        f"{int(prom_epochs)} epochs (exposition == trace events == snapshot)"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.check", description=__doc__
+    )
+    parser.add_argument("trace", type=Path, help="JSONL trace file (--trace output)")
+    parser.add_argument("metrics", type=Path, help="Prometheus exposition (--metrics output)")
+    args = parser.parse_args(argv)
+    try:
+        print(check(args.trace, args.metrics))
+    except (ValueError, OSError) as exc:
+        print(f"obs check failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""Trace summarisation: ``repro trace summarize``.
+
+Reads a JSONL trace file produced with ``--trace`` and reports:
+
+* **Top spans** — wall-time totals per span name (count/total/mean plus
+  simulated-time totals where available).
+* **Per-shard imbalance** — the ``shard`` spans' per-shard wall time and
+  key counts, with a max/mean imbalance ratio (the signal a sharded-run
+  operator actually tunes on).
+* **Per-receiver histograms** — the ``receiver.keys_learned`` (decrypts
+  per delivery) and ``receiver.interest_keys`` (bandwidth units per
+  delivery) distributions, checked against the analytic ``Ne(N, L)``
+  prediction from :mod:`repro.analysis.batchcost`: the observed mean
+  batch cost is compared to ``Ne(mean N, mean L)`` at the traced tree
+  degree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import Histogram
+
+
+def _histogram_view(entry: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    """``{series_key: slot}`` for a histogram entry of a to_json snapshot."""
+    if entry.get("kind") != "histogram":
+        return {}
+    return dict(entry.get("series", {}))
+
+
+def _merged_slot(entry: Dict[str, object]) -> Dict[str, object]:
+    """All series of a histogram entry folded into one slot."""
+    buckets = list(entry.get("buckets", ()))
+    merged = {"buckets": [0] * (len(buckets) + 1), "sum": 0.0, "count": 0}
+    for slot in _histogram_view(entry).values():
+        for i, count in enumerate(slot["buckets"]):
+            merged["buckets"][i] += count
+        merged["sum"] += slot["sum"]
+        merged["count"] += slot["count"]
+    return merged
+
+
+def _mean(entry: Optional[Dict[str, object]]) -> Optional[float]:
+    if not entry:
+        return None
+    slot = _merged_slot(entry)
+    if not slot["count"]:
+        return None
+    return slot["sum"] / slot["count"]
+
+
+def build_summary(records: List[Dict[str, object]], top: int = 10) -> Dict[str, object]:
+    """Structured summary of a parsed trace (see module docstring)."""
+    spans = [r for r in records if r.get("record") == "span"]
+    events = [r for r in records if r.get("record") == "event"]
+    metrics: Dict[str, object] = {}
+    for record in records:
+        if record.get("record") == "metrics":
+            metrics = record.get("snapshot", {})
+
+    # --- top spans by total wall time -------------------------------
+    by_name: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        slot = by_name.setdefault(
+            span["name"], {"count": 0, "wall_s": 0.0, "sim_s": 0.0, "has_sim": 0}
+        )
+        slot["count"] += 1
+        slot["wall_s"] += span.get("wall_s") or 0.0
+        start, end = span.get("sim_start"), span.get("sim_end")
+        if start is not None and end is not None:
+            slot["sim_s"] += end - start
+            slot["has_sim"] = 1
+    top_spans = [
+        {
+            "name": name,
+            "count": int(slot["count"]),
+            "total_wall_s": round(slot["wall_s"], 6),
+            "mean_wall_s": round(slot["wall_s"] / slot["count"], 6),
+            "total_sim_s": round(slot["sim_s"], 3) if slot["has_sim"] else None,
+        }
+        for name, slot in sorted(
+            by_name.items(), key=lambda kv: kv[1]["wall_s"], reverse=True
+        )
+    ][:top]
+
+    # --- per-shard imbalance ----------------------------------------
+    shards: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        if span["name"] != "shard":
+            continue
+        shard = str(span.get("attributes", {}).get("shard", "?"))
+        slot = shards.setdefault(shard, {"count": 0, "wall_s": 0.0, "keys": 0})
+        slot["count"] += 1
+        slot["wall_s"] += span.get("wall_s") or 0.0
+        slot["keys"] += span.get("attributes", {}).get("keys", 0) or 0
+    shard_rows = [
+        {
+            "shard": shard,
+            "batches": int(slot["count"]),
+            "wall_s": round(slot["wall_s"], 6),
+            "keys": int(slot["keys"]),
+        }
+        for shard, slot in sorted(shards.items())
+    ]
+    imbalance = None
+    walls = [row["wall_s"] for row in shard_rows if row["wall_s"] > 0]
+    if len(walls) > 1:
+        imbalance = round(max(walls) / (sum(walls) / len(walls)), 3)
+
+    # --- per-receiver histograms + Ne(N, L) check -------------------
+    decrypts = metrics.get("receiver.keys_learned")
+    bandwidth = metrics.get("receiver.interest_keys")
+    receiver = {
+        "mean_decrypts_per_delivery": _round(_mean(decrypts)),
+        "mean_interest_keys_per_delivery": _round(_mean(bandwidth)),
+        "deliveries": int(_merged_slot(decrypts)["count"]) if decrypts else 0,
+    }
+
+    analytic = None
+    batch_cost = metrics.get("server.batch_cost")
+    group_size = metrics.get("epoch.group_size")
+    departures = metrics.get("epoch.departures")
+    mean_cost = _mean(batch_cost)
+    mean_n = _mean(group_size)
+    mean_l = _mean(departures)
+    if mean_cost is not None and mean_n is not None and mean_l is not None:
+        from repro.analysis.batchcost import expected_batch_cost
+
+        degree = int(_gauge_value(metrics.get("server.degree"), default=4))
+        predicted = expected_batch_cost(mean_n, mean_l, degree=degree)
+        analytic = {
+            "mean_group_size": _round(mean_n),
+            "mean_departures": _round(mean_l),
+            "degree": degree,
+            "observed_mean_batch_cost": _round(mean_cost),
+            "predicted_ne": _round(predicted),
+            "ratio": _round(mean_cost / predicted) if predicted else None,
+        }
+
+    event_counts: Dict[str, int] = {}
+    for event in events:
+        event_counts[event["type"]] = event_counts.get(event["type"], 0) + 1
+
+    return {
+        "spans": len(spans),
+        "events": event_counts,
+        "top_spans": top_spans,
+        "shards": shard_rows,
+        "shard_imbalance": imbalance,
+        "receiver": receiver,
+        "analytic": analytic,
+    }
+
+
+def _gauge_value(entry: Optional[Dict[str, object]], default: float) -> float:
+    if not entry or entry.get("kind") != "gauge":
+        return default
+    series = entry.get("series", {})
+    for value in series.values():
+        return value
+    return default
+
+
+def _round(value: Optional[float], digits: int = 3) -> Optional[float]:
+    return None if value is None else round(value, digits)
+
+
+def format_summary(summary: Dict[str, object]) -> str:
+    """Render :func:`build_summary` output as the CLI report text."""
+    lines: List[str] = []
+    lines.append(f"spans: {summary['spans']}")
+    if summary["events"]:
+        counts = ", ".join(
+            f"{name}={count}" for name, count in sorted(summary["events"].items())
+        )
+        lines.append(f"events: {counts}")
+    if summary["top_spans"]:
+        lines.append("")
+        lines.append("top spans (by total wall time)")
+        lines.append(f"  {'name':<18} {'count':>7} {'total_s':>10} {'mean_s':>10} {'sim_s':>10}")
+        for row in summary["top_spans"]:
+            sim = "-" if row["total_sim_s"] is None else f"{row['total_sim_s']:.1f}"
+            lines.append(
+                f"  {row['name']:<18} {row['count']:>7} "
+                f"{row['total_wall_s']:>10.4f} {row['mean_wall_s']:>10.6f} {sim:>10}"
+            )
+    if summary["shards"]:
+        lines.append("")
+        lines.append("per-shard")
+        lines.append(f"  {'shard':<8} {'batches':>8} {'wall_s':>10} {'keys':>10}")
+        for row in summary["shards"]:
+            lines.append(
+                f"  {row['shard']:<8} {row['batches']:>8} "
+                f"{row['wall_s']:>10.4f} {row['keys']:>10}"
+            )
+        if summary["shard_imbalance"] is not None:
+            lines.append(f"  imbalance (max/mean wall): {summary['shard_imbalance']:.3f}")
+    receiver = summary["receiver"]
+    if receiver["deliveries"]:
+        lines.append("")
+        lines.append("per-receiver (per delivery)")
+        lines.append(f"  deliveries:          {receiver['deliveries']}")
+        lines.append(f"  mean decrypts:       {receiver['mean_decrypts_per_delivery']}")
+        lines.append(f"  mean interest keys:  {receiver['mean_interest_keys_per_delivery']}")
+    analytic = summary["analytic"]
+    if analytic:
+        lines.append("")
+        lines.append("analytic check: Ne(N, L)")
+        lines.append(
+            f"  observed mean batch cost: {analytic['observed_mean_batch_cost']}"
+        )
+        lines.append(
+            f"  predicted Ne(N={analytic['mean_group_size']}, "
+            f"L={analytic['mean_departures']}, d={analytic['degree']}): "
+            f"{analytic['predicted_ne']}"
+        )
+        if analytic["ratio"] is not None:
+            lines.append(f"  observed/predicted: {analytic['ratio']}")
+    return "\n".join(lines)

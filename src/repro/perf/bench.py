@@ -28,9 +28,10 @@ import json
 import platform
 import random
 import sys
+import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.crypto.wrap import deferred_wraps
 from repro.members.member import Member
@@ -48,6 +49,105 @@ COST_ONLY = "cost-only"
 FULL_CRYPTO = "full-crypto"
 
 BENCH_FILENAME = "BENCH_hotpath.json"
+
+#: Per-call budget for a *disabled* observability probe.  With no
+#: collector installed every probe must reduce to one module-global
+#: ``is None`` check (~100 ns in CPython); the budget leaves generous
+#: headroom for scheduler noise while still catching a regression that
+#: makes the disabled path allocate, format, or lock.
+OBS_OVERHEAD_BUDGET_NS = 1500.0
+
+
+def measure_obs_overhead(iterations: int = 100_000) -> Dict[str, object]:
+    """The ``obs-overhead`` guard: price the observability probes.
+
+    Measures per-call nanoseconds for the three probe families —
+    ``metrics.inc``, ``tracing.span`` (enter+exit), ``events.emit`` —
+    first with no collector installed (the cost every hot-path call site
+    pays all the time), then with the full :func:`repro.obs.observe`
+    stack active (the cost of an observed run).  Also times a small
+    rekeying workload both ways.  ``pass`` is True iff every *disabled*
+    probe stays under :data:`OBS_OVERHEAD_BUDGET_NS`; the enabled numbers
+    and the workload ratio are informational.
+    """
+    import repro.obs as obs
+    from repro.obs import events as obs_events
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import tracing as obs_tracing
+
+    def per_call_ns(fn: Callable[[], None], n: int) -> float:
+        fn()  # warm any lazy setup outside the timed window
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return (time.perf_counter() - start) / n * 1e9
+
+    def probe_inc() -> None:
+        obs_metrics.inc("bench.obs_overhead")
+
+    def probe_span() -> None:
+        with obs_tracing.span("bench.obs_overhead"):
+            pass
+
+    def probe_emit() -> None:
+        obs_events.emit("crash", time=0.0, epoch=0)
+
+    probes = {
+        "metrics_inc": probe_inc,
+        "tracing_span": probe_span,
+        "events_emit": probe_emit,
+    }
+
+    def workload() -> None:
+        server = OneTreeServer(degree=4, group="obs-overhead")
+        for i in range(256):
+            server.join(f"w{i}")
+        server.rekey()
+        for round_no in range(2):
+            for i in range(8):
+                server.leave(f"w{round_no * 8 + i}")
+                server.join(f"x{round_no}_{i}")
+            server.rekey()
+
+    # Force the disabled path regardless of the caller's context (repro
+    # bench itself may be running under --trace/--metrics).
+    saved = (obs_metrics._ACTIVE, obs_tracing._ACTIVE, obs_events._ACTIVE)
+    obs_metrics._ACTIVE = None
+    obs_tracing._ACTIVE = None
+    obs_events._ACTIVE = None
+    try:
+        disabled_ns = {
+            name: round(per_call_ns(fn, iterations), 1)
+            for name, fn in probes.items()
+        }
+        workload_off_start = time.perf_counter()
+        workload()
+        workload_off_s = time.perf_counter() - workload_off_start
+    finally:
+        obs_metrics._ACTIVE, obs_tracing._ACTIVE, obs_events._ACTIVE = saved
+
+    enabled_iterations = min(iterations, 20_000)
+    with obs.observe(clock=lambda: 0.0):
+        enabled_ns = {
+            name: round(per_call_ns(fn, enabled_iterations), 1)
+            for name, fn in probes.items()
+        }
+        workload_on_start = time.perf_counter()
+        workload()
+        workload_on_s = time.perf_counter() - workload_on_start
+
+    return {
+        "iterations": iterations,
+        "budget_ns": OBS_OVERHEAD_BUDGET_NS,
+        "disabled_ns": disabled_ns,
+        "enabled_ns": enabled_ns,
+        "workload_off_s": round(workload_off_s, 6),
+        "workload_on_s": round(workload_on_s, 6),
+        "workload_on_off_ratio": (
+            round(workload_on_s / workload_off_s, 3) if workload_off_s else None
+        ),
+        "pass": all(ns <= OBS_OVERHEAD_BUDGET_NS for ns in disabled_ns.values()),
+    }
 
 
 def _peak_rss_kb() -> Optional[int]:
@@ -437,6 +537,15 @@ def run_bench(
                     f" -> {result['speedup_vs_serial']:.1f}x vs serial"
                 )
             progress(line)
+    obs_overhead = measure_obs_overhead(
+        iterations=20_000 if quick else 100_000
+    )
+    if progress is not None:
+        worst_ns = max(obs_overhead["disabled_ns"].values())
+        progress(
+            f"obs-overhead: disabled probes worst {worst_ns:.0f} ns/call "
+            f"(budget {OBS_OVERHEAD_BUDGET_NS:.0f} ns)"
+        )
     report = {
         "version": 2,
         "suite": "hotpath",
@@ -446,6 +555,7 @@ def run_bench(
         "cpus": available_cpus(),
         "workers": workers,
         "scenarios": results,
+        "obs_overhead": obs_overhead,
         "peak_rss_kb": _peak_rss_kb(),
     }
     if out_path is not None:

@@ -11,6 +11,15 @@ context manager) makes the same probes accumulate into it.
 Counters are the basis of the *op-count budget* regression tests: unlike
 wall-clock they are deterministic, so CI can assert that per-member rekey
 delivery work stays O(tree depth) without flaking on a loaded runner.
+
+Since the unified observability layer landed this module is also a
+**compatibility shim**: the same probes additionally forward into the
+active :class:`repro.obs.metrics.MetricsRegistry` when one is installed
+(counts become registry counters under the same dotted name; timed
+phases become ``<name>.seconds`` latency histograms).  ``repro bench``
+keeps its :class:`PerfRecorder`-shaped output; new consumers read the
+registry.  With neither sink active a probe is still just two global
+``is None`` checks.
 """
 
 from __future__ import annotations
@@ -19,6 +28,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
+
+from repro.obs import metrics as _obs_metrics
 
 
 @dataclass
@@ -118,20 +129,30 @@ def count(name: str, n: int = 1) -> None:
     recorder = _ACTIVE
     if recorder is not None:
         recorder.count(name, n)
+    registry = _obs_metrics._ACTIVE
+    if registry is not None:
+        registry.inc(name, n)
 
 
 @contextmanager
 def timed(name: str) -> Iterator[None]:
     """Time a phase on the active recorder (plain passthrough when none)."""
     recorder = _ACTIVE
-    if recorder is None:
+    registry = _obs_metrics._ACTIVE
+    if recorder is None and registry is None:
         yield
         return
     start = time.perf_counter()
     try:
         yield
     finally:
-        recorder.add_time(name, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        if recorder is not None:
+            recorder.add_time(name, elapsed)
+        if registry is not None:
+            registry.observe(
+                name + ".seconds", elapsed, buckets=_obs_metrics.LATENCY_BUCKETS_S
+            )
 
 
 @contextmanager

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -48,6 +49,7 @@ from repro.crypto.wrap import (
     set_wrap_mode,
     wrap_mode,
 )
+from repro.obs import metrics as obs_metrics
 from repro.keytree.lkh import LkhRekeyer
 from repro.keytree.serialize import (
     tree_with_stream_from_dict,
@@ -120,6 +122,9 @@ class ShardFragment:
     advanced: List[tuple] = field(default_factory=list)
     root_key: Optional[KeyMaterial] = None
     size: int = 0
+    #: Wall-clock seconds the shard job took in whichever lane ran it
+    #: (feeds the per-shard spans and imbalance report).
+    wall_s: float = 0.0
 
 
 class _ShardState:
@@ -132,6 +137,7 @@ class _ShardState:
         self.rekeyer = LkhRekeyer(self.tree)
 
     def apply(self, batch: ShardBatch, payload: str) -> ShardFragment:
+        start = time.perf_counter()
         message = self.rekeyer.rekey_batch(
             joins=batch.joins,
             departures=batch.departures,
@@ -146,6 +152,7 @@ class _ShardState:
             advanced=list(message.advanced),
             root_key=self.tree.root.key,
             size=self.tree.size,
+            wall_s=time.perf_counter() - start,
         )
 
     def dump(self) -> dict:
@@ -281,9 +288,23 @@ def _worker_main(conn, specs: Sequence[ShardSpec]) -> None:
                 conn.send(("ok", None))
                 break
             if op == "batch":
-                batches, payload, mode = args
+                batches, payload, mode, collect = args
                 set_wrap_mode(mode)
-                out = [states[b.shard].apply(b, payload) for b in batches]
+                if collect:
+                    # Metrics-delta shipping: run the jobs under a scratch
+                    # registry so worker-side probes (crypto.wraps, …) are
+                    # captured, and send the snapshot home with the
+                    # fragments for the parent to merge.
+                    with obs_metrics.collecting() as registry:
+                        fragments = [
+                            states[b.shard].apply(b, payload) for b in batches
+                        ]
+                    out = (fragments, registry.snapshot())
+                else:
+                    out = (
+                        [states[b.shard].apply(b, payload) for b in batches],
+                        None,
+                    )
             elif op == "paths":
                 out = {}
                 for shard, member_ids in args.items():
@@ -390,12 +411,17 @@ class ProcessShardExecutor:
                 per_lane[lane] = []
             per_lane[lane].append(batch)
         mode = wrap_mode()
+        registry = obs_metrics.active_registry()
+        collect = registry is not None
         args = [
-            None if jobs is None else (jobs, payload, mode) for jobs in per_lane
+            None if jobs is None else (jobs, payload, mode, collect)
+            for jobs in per_lane
         ]
         fragments: List[ShardFragment] = []
-        for reply in self._broadcast("batch", args):
-            fragments.extend(reply)
+        for lane_fragments, snapshot in self._broadcast("batch", args):
+            fragments.extend(lane_fragments)
+            if snapshot is not None and registry is not None:
+                registry.merge(snapshot)
         fragments.sort(key=lambda f: f.shard)
         return fragments
 

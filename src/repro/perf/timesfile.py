@@ -1,0 +1,46 @@
+"""Atomic merge-update for ``benchmarks/out/bench_times.json``.
+
+Two independent writers share that file: the pytest benchmark suite
+(``benchmarks/conftest.py`` at session finish) and ``repro bench``
+(:func:`repro.cli._record_bench_session`).  Both used to read-merge-write
+in place, so a crash mid-write could truncate the file and concurrent
+writers could drop each other's keys.  This helper makes the update
+atomic: load (tolerating a missing or corrupt file), merge the caller's
+top-level keys over what's on disk, write to a same-directory temp file,
+and ``os.replace`` it into place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict
+
+
+def load_times(path: Path) -> Dict[str, object]:
+    """Parse ``path`` as JSON; missing/corrupt files read as empty."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (FileNotFoundError, ValueError):
+        return {}
+    return payload if isinstance(payload, dict) else {}
+
+
+def merge_update(path: Path, updates: Dict[str, object]) -> Dict[str, object]:
+    """Merge ``updates`` into the JSON mapping at ``path``, atomically.
+
+    Top-level keys in ``updates`` replace the same keys on disk; every
+    other key on disk is preserved.  The write goes through a pid-suffixed
+    temp file in the same directory and ``os.replace``, so readers never
+    see a partial file and the last writer wins key-by-key rather than
+    clobbering the whole document.  Returns the merged mapping.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    merged = load_times(path)
+    merged.update(updates)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return merged

@@ -13,6 +13,9 @@ from typing import Dict, List, Optional
 from repro.crypto.material import KeyGenerator, KeyMaterial
 from repro.crypto.wrap import EncryptedKey, WrapIndex
 from repro.faults.recovery import RecoveryEvent, SyncTracker
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.perf.instrumentation import count as perf_count, timed as perf_timed
 
 
@@ -137,6 +140,7 @@ class GroupKeyServer:
         registration = Registration(member_id, key, at_time)
         self._pending_joins[member_id] = registration
         self._note_join_attributes(member_id, attributes)
+        obs_events.emit("join", time=at_time, member_id=member_id)
         return registration
 
     def leave(self, member_id: str, at_time: float = 0.0) -> None:
@@ -148,12 +152,14 @@ class GroupKeyServer:
         if member_id in self._pending_joins:
             del self._pending_joins[member_id]
             self._forget_join_attributes(member_id)
+            obs_events.emit("departure", time=at_time, member_id=member_id)
             return
         if member_id not in self._members:
             raise KeyError(f"member {member_id!r} unknown to {self.group!r}")
         if member_id in self._pending_leaves:
             raise ValueError(f"member {member_id!r} already departing")
         self._pending_leaves[member_id] = at_time
+        obs_events.emit("departure", time=at_time, member_id=member_id)
 
     def rekey(self, now: float = 0.0) -> BatchResult:
         """Process all pending changes as one batch; returns the payload."""
@@ -174,8 +180,10 @@ class GroupKeyServer:
                 self._sync.admit(registration.member_id, self._next_epoch - 1)
             for member_id in leaves:
                 self._sync.forget(member_id)
-        with perf_timed("server.rekey"):
-            self._process_batch(result, joins, leaves, now)
+        with obs_tracing.span("rekey", epoch=result.epoch) as rekey_span:
+            with perf_timed("server.rekey"):
+                self._process_batch(result, joins, leaves, now)
+            rekey_span.set("cost", result.cost)
         perf_count("server.rekeys")
         if joins:
             perf_count("server.joins", len(joins))
@@ -183,6 +191,17 @@ class GroupKeyServer:
             perf_count("server.departures", len(leaves))
         if result.encrypted_keys:
             perf_count("server.encrypted_keys", len(result.encrypted_keys))
+        obs_metrics.observe("server.batch_cost", result.cost)
+        obs_metrics.observe("epoch.group_size", self.size)
+        obs_metrics.observe("epoch.departures", len(leaves))
+        obs_events.emit(
+            "epoch",
+            time=now,
+            epoch=result.epoch,
+            joins=len(joins),
+            departures=len(leaves),
+            cost=result.cost,
+        )
         return result
 
     # ------------------------------------------------------------------

@@ -39,6 +39,8 @@ from repro.crypto.wrap import (
     wrap_key,
 )
 from repro.keytree.sharded import ShardedKeyTree
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.perf.parallel import PAYLOAD_FULL, PAYLOAD_HANDLES
 from repro.server.base import BatchResult, GroupKeyServer, Registration
 
@@ -125,10 +127,32 @@ class ShardedOneTreeServer(GroupKeyServer):
             join_refresh=self.join_refresh,
         )
         fragment_keys = []
+        observing = (
+            obs_metrics.active_registry() is not None
+            or obs_tracing.active_tracer() is not None
+        )
         for fragment in outcome.fragments:
             result.extend(f"shard{fragment.shard}", fragment.encrypted_keys)
             result.advanced.extend(fragment.advanced)
             fragment_keys.append(fragment.encrypted_keys)
+            if observing:
+                obs_tracing.add_span(
+                    "shard",
+                    wall_s=fragment.wall_s,
+                    shard=fragment.shard,
+                    keys=len(fragment.encrypted_keys),
+                )
+                obs_metrics.observe(
+                    "shard.batch_keys",
+                    len(fragment.encrypted_keys),
+                    shard=str(fragment.shard),
+                )
+                obs_metrics.observe(
+                    "shard.batch_seconds",
+                    fragment.wall_s,
+                    buckets=obs_metrics.LATENCY_BUCKETS_S,
+                    shard=str(fragment.shard),
+                )
         if self.shards > 1:
             stitch = self._roll_group_key(
                 had_departure=bool(leaves), touched=outcome.touched

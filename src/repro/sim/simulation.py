@@ -15,9 +15,13 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
+import repro.obs as obs
 from repro.crypto.wrap import deferred_wraps
 from repro.faults.channel import FaultyChannel
 from repro.faults.schedule import FaultSchedule
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.members.durations import TwoClassDuration
 from repro.members.member import Member
 from repro.members.population import LossPopulation
@@ -285,21 +289,49 @@ class GroupRekeyingSimulation:
                 f"crashed one had epoch {doomed.epoch} cost {doomed.cost}"
             )
         self.metrics.server_crashes += 1
+        obs_metrics.inc("server.crashes")
+        obs_tracing.event("server-crash", epoch=replay.epoch)
+        obs_events.emit("crash", time=now, epoch=replay.epoch)
         self._deliver_batch(replay, now)
         return True
 
     def _rekey(self) -> None:
         now = self.loop.now
-        if not self._maybe_crash(now):
-            result = self._run_batch(now)
-            self._deliver_batch(result, now)
+        with obs_tracing.span("epoch", time=now) as epoch_span:
+            self._attach_fault_windows(epoch_span, now)
+            if not self._maybe_crash(now):
+                result = self._run_batch(now)
+                self._deliver_batch(result, now)
         self.loop.schedule(now + self.config.rekey_period, self._rekey)
+
+    def _attach_fault_windows(self, epoch_span, now: float) -> None:
+        """Attach every fault window open at ``now`` as span events."""
+        schedule = self.config.fault_schedule
+        if schedule is None or obs_tracing.active_tracer() is None:
+            return
+        window_kinds = (
+            ("loss-burst", schedule.bursts),
+            ("blackout", schedule.blackouts),
+            ("duplicate", schedule.duplicates),
+            ("jitter", schedule.jitters),
+        )
+        for kind, windows in window_kinds:
+            for window in windows:
+                if window.active(now):
+                    epoch_span.event(
+                        "fault-window",
+                        kind=kind,
+                        start=window.start,
+                        end=window.end,
+                    )
 
     def _deliver_batch(self, result: BatchResult, now: float) -> None:
         """Transport the batch payload, handle degradation, verify, record."""
         transport_keys = transport_packets = transport_rounds = 0
         transport_elapsed = 0.0
         newly_abandoned: Set[str] = set()
+        obs_tracing.set_attr("epoch", result.epoch)
+        observing = obs_metrics.active_registry() is not None
         if not self.config.cost_only:
             if result.advanced:
                 # ELK/LKH+ one-way advances: every member computes locally.
@@ -308,25 +340,42 @@ class GroupRekeyingSimulation:
             if result.encrypted_keys:
                 if self.config.transport is not None:
                     task = self._build_task(result)
-                    try:
-                        outcome = self.config.transport.run(task, self.channel)
-                    except TransportExhausted as exc:
-                        # Graceful degradation: the receivers the transport
-                        # could not satisfy go OUT_OF_SYNC and recover over
-                        # unicast instead of failing the whole run.
-                        outcome = exc.result
-                        newly_abandoned = set(exc.pending) | set(outcome.abandoned)
-                    else:
-                        newly_abandoned = set(outcome.abandoned)
-                        if not outcome.satisfied and not newly_abandoned:
-                            raise RuntimeError(
-                                f"transport failed to satisfy all receivers "
-                                f"at t={now}"
+                    with obs_tracing.span(
+                        "transport",
+                        protocol=getattr(
+                            self.config.transport, "name",
+                            type(self.config.transport).__name__,
+                        ),
+                    ) as transport_span:
+                        try:
+                            outcome = self.config.transport.run(task, self.channel)
+                        except TransportExhausted as exc:
+                            # Graceful degradation: the receivers the transport
+                            # could not satisfy go OUT_OF_SYNC and recover over
+                            # unicast instead of failing the whole run.
+                            outcome = exc.result
+                            newly_abandoned = set(exc.pending) | set(
+                                outcome.abandoned
                             )
+                        else:
+                            newly_abandoned = set(outcome.abandoned)
+                            if not outcome.satisfied and not newly_abandoned:
+                                raise RuntimeError(
+                                    f"transport failed to satisfy all receivers "
+                                    f"at t={now}"
+                                )
+                        transport_span.set("rounds", outcome.rounds)
+                        transport_span.set("packets", outcome.packets_sent)
+                        transport_span.set("abandoned", len(newly_abandoned))
                     transport_keys = outcome.keys_sent
                     transport_packets = outcome.packets_sent
                     transport_rounds = outcome.rounds
                     transport_elapsed = outcome.elapsed
+                    if observing:
+                        obs_metrics.inc("transport.keys_sent", outcome.keys_sent)
+                        obs_metrics.inc(
+                            "transport.packets_sent", outcome.packets_sent
+                        )
                     if self.sync_tracker is not None:
                         for rid in outcome.late:
                             if rid in self.members and rid not in newly_abandoned:
@@ -339,13 +388,21 @@ class GroupRekeyingSimulation:
                 # one) — except OUT_OF_SYNC receivers, which missed wraps
                 # they would need and wait for unicast catch-up.  The
                 # positional index is built once and shared.
-                index = result.index()
-                for member_id, member in self.members.items():
-                    if member_id in self._out_of_sync:
-                        continue
-                    member.absorb(result.encrypted_keys, index=index)
-                    if self.sync_tracker is not None:
-                        self.sync_tracker.mark_delivered(member_id, result.epoch)
+                with obs_tracing.span("deliver") as deliver_span:
+                    index = result.index()
+                    delivered = 0
+                    for member_id, member in self.members.items():
+                        if member_id in self._out_of_sync:
+                            continue
+                        learned = member.absorb(result.encrypted_keys, index=index)
+                        delivered += 1
+                        if observing:
+                            obs_metrics.observe(
+                                "receiver.keys_learned", len(learned)
+                            )
+                        if self.sync_tracker is not None:
+                            self.sync_tracker.mark_delivered(member_id, result.epoch)
+                    deliver_span.set("receivers", delivered)
         if self.config.verify:
             self._verify(result)
         self.metrics.add(
@@ -375,6 +432,10 @@ class GroupRekeyingSimulation:
             if member_id not in self.members or member_id in self._out_of_sync:
                 continue
             self._out_of_sync.add(member_id)
+            obs_events.emit(
+                "abandonment", time=now, member_id=member_id, epoch=epoch
+            )
+            obs_metrics.inc("transport.abandonments")
             if self.sync_tracker is not None:
                 self.sync_tracker.mark_out_of_sync(member_id, epoch, now)
             self.loop.schedule(
@@ -402,6 +463,7 @@ class GroupRekeyingSimulation:
         """
         index = result.index()
         interest: Dict[str, Set[int]] = {}
+        observing = obs_metrics.active_registry() is not None
         for member_id, member in self.members.items():
             if member_id in self._out_of_sync:
                 # No point retransmitting wraps it cannot open — the
@@ -410,6 +472,8 @@ class GroupRekeyingSimulation:
             wanted = {pos for pos, _ in index.closure(member.held_versions())}
             if wanted:
                 interest[member_id] = wanted
+                if observing:
+                    obs_metrics.observe("receiver.interest_keys", len(wanted))
         return TransportTask(keys=list(result.encrypted_keys), interest=interest)
 
     # ------------------------------------------------------------------
@@ -444,8 +508,21 @@ class GroupRekeyingSimulation:
     # driver
     # ------------------------------------------------------------------
 
+    def _tree_degree(self) -> int:
+        """The server's key-tree degree (for the Ne(N, L) trace check)."""
+        tree = getattr(self.server, "tree", None)
+        if tree is not None and hasattr(tree, "degree"):
+            return tree.degree
+        sharded = getattr(self.server, "sharded", None)
+        if sharded is not None and hasattr(sharded, "degree"):
+            return sharded.degree
+        return 4
+
     def run(self) -> SimulationMetrics:
         """Run the configured horizon; returns the collected metrics."""
+        # Spans and event records stamp simulated time from here on.
+        obs.bind_clock(lambda: self.loop.now)
+        obs_metrics.gauge_set("server.degree", self._tree_degree())
         self.loop.schedule_in(
             self.rng.expovariate(self.config.arrival_rate), self._arrive
         )

@@ -27,6 +27,9 @@ from typing import Dict, List, Optional, Set
 
 from repro.faults.retry import RetryPolicy
 from repro.network.channel import MulticastChannel
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.transport.packets import KeyPacket, pack_indices
 from repro.transport.session import (
     TransportExhausted,
@@ -136,47 +139,63 @@ class ProactiveFecProtocol:
             packets_this_round = 0
             keys_this_round = 0
             parity_this_round = 0
-            for block_id, block in enumerate(blocks):
-                pending = block.pending_receivers()
-                if round_index > 0 and not pending:
-                    continue
-                if round_index == 0:
-                    sends: List[KeyPacket] = list(block.payload_packets)
-                    parity_count = (
-                        math.ceil((self.proactivity - 1.0) * block.k)
-                        if block.direct_missing
-                        else 0
-                    )
-                else:
-                    sends = []
-                    parity_count = max(
-                        block.k - block.received_count.get(rid, 0) for rid in pending
-                    )
-                for __ in range(parity_count):
-                    sends.append(
-                        KeyPacket(
-                            seqno=seqno, key_indices=(), block=block_id, is_parity=True
+            with obs_tracing.span(
+                "transport.round", protocol="proactive-fec", round=round_index
+            ) as round_span:
+                for block_id, block in enumerate(blocks):
+                    pending = block.pending_receivers()
+                    if round_index > 0 and not pending:
+                        continue
+                    if round_index == 0:
+                        sends: List[KeyPacket] = list(block.payload_packets)
+                        parity_count = (
+                            math.ceil((self.proactivity - 1.0) * block.k)
+                            if block.direct_missing
+                            else 0
                         )
-                    )
-                    seqno += 1
-                audience = set(block.direct_missing)
-                for packet in sends:
-                    packets_this_round += 1
-                    keys_this_round += (
-                        self.keys_per_packet if packet.is_parity else packet.key_count
-                    )
-                    if packet.is_parity:
-                        parity_this_round += 1
-                    report = channel.multicast(packet, audience=audience)
-                    for rid in report.delivered_to:
-                        block.received_count[rid] = block.received_count.get(rid, 0) + 1
-                        if not packet.is_parity:
-                            block.direct_missing[rid] -= set(packet.key_indices)
+                    else:
+                        sends = []
+                        parity_count = max(
+                            block.k - block.received_count.get(rid, 0) for rid in pending
+                        )
+                    for __ in range(parity_count):
+                        sends.append(
+                            KeyPacket(
+                                seqno=seqno, key_indices=(), block=block_id, is_parity=True
+                            )
+                        )
+                        seqno += 1
+                    audience = set(block.direct_missing)
+                    for packet in sends:
+                        packets_this_round += 1
+                        keys_this_round += (
+                            self.keys_per_packet if packet.is_parity else packet.key_count
+                        )
+                        if packet.is_parity:
+                            parity_this_round += 1
+                        report = channel.multicast(packet, audience=audience)
+                        for rid in report.delivered_to:
+                            block.received_count[rid] = block.received_count.get(rid, 0) + 1
+                            if not packet.is_parity:
+                                block.direct_missing[rid] -= set(packet.key_indices)
+                round_span.set("packets", packets_this_round)
+                round_span.set("parity", parity_this_round)
             result.merge_round(
                 packets=packets_this_round,
                 keys=keys_this_round,
                 parity=parity_this_round,
             )
+            obs_metrics.inc("transport.rounds")
+            if round_index > 0:
+                obs_metrics.inc("transport.retry_rounds")
+                obs_events.emit(
+                    "retry_round",
+                    round=round_index,
+                    packets=packets_this_round,
+                    keys_pending=sum(
+                        len(b.pending_receivers()) for b in blocks
+                    ),
+                )
             if self.retry is not None and self.retry.should_abandon(round_index + 1):
                 # Drop every still-pending receiver from every block: the
                 # retry policy hands them to the unicast recovery path.

@@ -21,6 +21,9 @@ from typing import Dict, List, Optional, Set
 from repro.analysis.wka import expected_transmissions
 from repro.faults.retry import RetryPolicy
 from repro.network.channel import MulticastChannel
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.transport.packets import (
     KeyPacket,
     order_breadth_first,
@@ -164,24 +167,38 @@ class WkaBkrProtocol:
                 result.elapsed += self.retry.delay_before_round(round_index)
             if round_index > 0:
                 result.late.update(outstanding)
-            packets = self._build_round_packets(outstanding, channel, seqno)
-            seqno += len(packets)
-            keys_this_round = 0
-            for packet in packets:
-                keys_this_round += packet.key_count
-                audience = {
-                    rid
-                    for rid, wanted in outstanding.items()
-                    if wanted.intersection(packet.key_indices)
-                }
-                if not audience:
-                    continue
-                report = channel.multicast(packet, audience=audience)
-                for rid in report.delivered_to:
-                    outstanding[rid] -= set(packet.key_indices)
-                    if not outstanding[rid]:
-                        del outstanding[rid]
+            with obs_tracing.span(
+                "transport.round", protocol="wka-bkr", round=round_index
+            ) as round_span:
+                packets = self._build_round_packets(outstanding, channel, seqno)
+                seqno += len(packets)
+                keys_this_round = 0
+                for packet in packets:
+                    keys_this_round += packet.key_count
+                    audience = {
+                        rid
+                        for rid, wanted in outstanding.items()
+                        if wanted.intersection(packet.key_indices)
+                    }
+                    if not audience:
+                        continue
+                    report = channel.multicast(packet, audience=audience)
+                    for rid in report.delivered_to:
+                        outstanding[rid] -= set(packet.key_indices)
+                        if not outstanding[rid]:
+                            del outstanding[rid]
+                round_span.set("packets", len(packets))
+                round_span.set("pending_after", len(outstanding))
             result.merge_round(packets=len(packets), keys=keys_this_round)
+            obs_metrics.inc("transport.rounds")
+            if round_index > 0:
+                obs_metrics.inc("transport.retry_rounds")
+                obs_events.emit(
+                    "retry_round",
+                    round=round_index,
+                    packets=len(packets),
+                    keys_pending=sum(len(w) for w in outstanding.values()),
+                )
             if self.retry is not None and self.retry.should_abandon(round_index + 1):
                 # Everyone still outstanding has now been unsatisfied for
                 # abandon_after rounds (interest is fixed at task start).

@@ -1,0 +1,123 @@
+"""CLI surface of the observability layer.
+
+``repro simulate --quick --trace --metrics``, ``repro metrics``,
+``repro trace summarize`` and the bench obs-overhead gate.  The legacy
+``repro trace <output>`` generator keeps its positional argument — the
+summarizer is dispatched on the exact ``trace summarize`` prefix.
+"""
+
+import repro.obs as obs
+from repro.cli import main
+from repro.obs.metrics import parse_prometheus
+
+
+def run_simulate(tmp_path, capsys, *extra):
+    trace = tmp_path / "trace.jsonl"
+    prom = tmp_path / "metrics.prom"
+    rc = main(
+        [
+            "simulate", "--quick", "--scheme", "one",
+            "--arrival-rate", "0.5", "--seed", "1",
+            "--trace", str(trace), "--metrics", str(prom),
+            *extra,
+        ]
+    )
+    return rc, trace, prom, capsys.readouterr().out
+
+
+def test_simulate_trace_and_metrics_flags(tmp_path, capsys):
+    rc, trace, prom, out = run_simulate(tmp_path, capsys)
+    assert rc == 0
+    assert "wrote" in out and str(trace) in out and str(prom) in out
+    records = obs.read_trace(trace)
+    counts = obs.validate_trace_records(records)
+    assert counts["span"] > 0
+    assert counts["event"] > 0
+    assert counts["metrics"] == 1
+    samples = parse_prometheus(prom.read_text())
+    assert samples["repro_server_rekeys_total"] > 0
+
+
+def test_simulate_obs_check_agrees(tmp_path, capsys):
+    from repro.obs.check import main as check_main
+
+    rc, trace, prom, _ = run_simulate(tmp_path, capsys)
+    assert rc == 0
+    assert check_main([str(trace), str(prom)]) == 0
+    assert "ok:" in capsys.readouterr().out
+
+
+def test_simulate_without_flags_leaves_obs_off(capsys):
+    from repro.obs import events, metrics, tracing
+
+    rc = main(
+        ["simulate", "--quick", "--scheme", "one",
+         "--arrival-rate", "0.5", "--seed", "1"]
+    )
+    assert rc == 0
+    assert metrics.active_registry() is None
+    assert tracing.active_tracer() is None
+    assert events.active_log() is None
+    assert "wrote" not in capsys.readouterr().out.split("scheme:")[0]
+
+
+def test_metrics_command_prom_format(capsys):
+    rc = main(["metrics", "--horizon", "180", "--transport", "none"])
+    assert rc == 0
+    samples = parse_prometheus(capsys.readouterr().out)
+    assert samples["repro_server_rekeys_total"] > 0
+
+
+def test_metrics_command_json_format(capsys):
+    import json
+
+    rc = main(["metrics", "--horizon", "180", "--transport", "none",
+               "--format", "json"])
+    assert rc == 0
+    dump = json.loads(capsys.readouterr().out)
+    assert dump["server.rekeys"]["kind"] == "counter"
+
+
+def test_trace_summarize_command(tmp_path, capsys):
+    rc, trace, _, _ = run_simulate(tmp_path, capsys)
+    assert rc == 0
+    rc = main(["trace", "summarize", str(trace)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "top spans" in out
+    assert "epoch" in out
+
+
+def test_trace_generator_still_owns_positional(tmp_path, capsys):
+    out_file = tmp_path / "membership.jsonl"
+    rc = main(["trace", str(out_file), "--length", "60"])
+    assert rc == 0
+    assert out_file.exists()
+    assert "membership records" in capsys.readouterr().out
+
+
+def test_bench_gate_rejects_overbudget_probes(tmp_path, capsys, monkeypatch):
+    import repro.cli as cli
+    import repro.perf.bench as bench
+
+    def fake_run_bench(**kwargs):
+        return {
+            "quick": True,
+            "workers": 1,
+            "cpus": 1,
+            "scenarios": [],
+            "peak_rss_kb": None,
+            "obs_overhead": {
+                "disabled_ns": {"metrics_inc": 9_999.0},
+                "budget_ns": bench.OBS_OVERHEAD_BUDGET_NS,
+                "pass": False,
+            },
+        }
+
+    monkeypatch.setattr(bench, "run_bench", fake_run_bench)
+    monkeypatch.chdir(tmp_path)
+    rc = cli.main(["bench", "--quick", "--out", str(tmp_path / "b.json")])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "ERROR" in captured.err
+    assert "ns/call" in captured.err
