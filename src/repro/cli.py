@@ -126,6 +126,7 @@ def _build_server(
     shards: int = 4,
     workers: int = 1,
     backend: str = "serial",
+    tree_kernel: str = "object",
 ):
     from repro.server.losshomog import LossHomogenizedServer
     from repro.server.onetree import OneTreeServer
@@ -133,10 +134,14 @@ def _build_server(
     from repro.server.twopartition import TwoPartitionServer
 
     if scheme == "one":
-        return OneTreeServer(degree=degree)
+        return OneTreeServer(degree=degree, tree_kernel=tree_kernel)
     if scheme == "sharded":
         return ShardedOneTreeServer(
-            shards=shards, workers=workers, backend=backend, degree=degree
+            shards=shards,
+            workers=workers,
+            backend=backend,
+            degree=degree,
+            tree_kernel=tree_kernel,
         )
     if scheme in ("qt", "tt", "pt"):
         return TwoPartitionServer(mode=scheme, s_period=s_period, degree=degree)
@@ -205,6 +210,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         shards=args.shards,
         workers=args.workers,
         backend=args.backend,
+        tree_kernel=args.tree_kernel,
     )
     transport = _build_transport(args.transport)
     needs_population = transport is not None or args.scheme in (
@@ -315,6 +321,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    kernel_mismatched = [
+        cell["name"]
+        for cell in report["scenarios"]
+        if cell.get("mean_batch_cost_matches_object") is False
+    ]
+    if kernel_mismatched:
+        print(
+            "ERROR: flat kernel changed mean_batch_cost in: "
+            + ", ".join(kernel_mismatched),
+            file=sys.stderr,
+        )
+        return 1
+    # The parallel-speedup floor is cpu-aware: on a single usable core a
+    # process pool cannot beat serial, so only the determinism gates above
+    # are meaningful there (BENCH_hotpath.json was once recorded on a
+    # 1-CPU box, making speedup_vs_serial < 1 look like a regression).
+    parallel_cells = [
+        (cell["name"], cell["speedup_vs_serial"])
+        for cell in report["scenarios"]
+        if cell["speedup_vs_serial"] is not None
+    ]
+    if parallel_cells and report["cpus"] < 2:
+        print(
+            f"note: single-CPU host (cpus={report['cpus']}); "
+            "speedup_vs_serial reflects pool overhead, not a regression"
+        )
+    elif parallel_cells:
+        slow = [(name, s) for name, s in parallel_cells if s < 1.0]
+        if slow:
+            print(
+                f"ERROR: sharded speedup below 1.0x vs serial on a "
+                f"{report['cpus']}-CPU host: {slow}",
+                file=sys.stderr,
+            )
+            return 1
     overhead = report.get("obs_overhead")
     if overhead is not None and not overhead["pass"]:
         worst = max(overhead["disabled_ns"].values())
@@ -574,6 +615,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial",
         help="sharded scheme: executor backend (execution only)",
     )
+    p.add_argument(
+        "--tree-kernel",
+        choices=("object", "flat"),
+        default="object",
+        help="key-tree kernel for one/sharded schemes (execution only; "
+        "payloads are byte-identical either way)",
+    )
     p.add_argument("--transport", choices=("none", "wka-bkr", "multi-send", "fec"), default="none")
     p.add_argument("--degree", type=int, default=4)
     p.add_argument("--s-period", type=float, default=600.0)
@@ -637,7 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--schemes",
         default=None,
-        help="comma list (default: one,tt,pt,losshomog)",
+        help="comma list (default: one,tt,pt,losshomog,one-flat)",
     )
     p.add_argument(
         "--schedules",

@@ -44,8 +44,9 @@ from repro.testing.invariants import (
     check_member_decrypts,
 )
 
-#: schemes the default chaos sweep covers (CLI ``--schemes`` overrides)
-STANDARD_SCHEMES = ("one", "tt", "pt", "losshomog")
+#: schemes the default chaos sweep covers (CLI ``--schemes`` overrides);
+#: ``--quick`` takes the first two, so keep the reference pair up front
+STANDARD_SCHEMES = ("one", "tt", "pt", "losshomog", "one-flat")
 
 
 def _build_server(scheme: str):
@@ -55,6 +56,8 @@ def _build_server(scheme: str):
 
     if scheme == "one":
         return OneTreeServer()
+    if scheme == "one-flat":
+        return OneTreeServer(tree_kernel="flat")
     if scheme in ("qt", "tt", "pt"):
         return TwoPartitionServer(mode=scheme)
     if scheme == "losshomog":

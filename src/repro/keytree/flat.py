@@ -1,0 +1,1406 @@
+"""Flat-array LKH kernel: the key tree as parallel index arrays.
+
+The object kernel (:mod:`repro.keytree.tree` / :mod:`repro.keytree.lkh`)
+spends most of a large batch in the cyclic garbage collector: every tree
+node is a ``Node`` with parent/children reference cycles plus a
+``KeyMaterial``, so a 1M-member tree keeps millions of tracked objects
+alive and every collection generation walks them.  This module stores the
+same tree as a struct-of-arrays::
+
+    index            0       1       2       3    ...
+    _parent        [ -1,     0,      0,      1,   ... ]   parent index (-1 = none)
+    _child         [ 1, 2, -1, -1,   3, 4, ...          ] degree slots per node
+    _nchild        [  2,     2,      0,      0,   ... ]
+    _ids           ["t/root","t/n1","member:a", ...     ] node id (None = freed slot)
+    _member        [ None,   None,  "a",    None, ... ]   member id for leaves
+    _versions      [  3,      1,     0,      2,   ... ]   key version
+    _secrets       one bytearray, 32 bytes per slot       key material
+    _leafcnt       [  9,      4,     1,      1,   ... ]
+    _gen           [  0,      0,     2,      1,   ... ]   slot reuse generation
+
+Batch marking is index arithmetic over ``_parent`` chains, key refresh is
+a straight counter/sha256 loop writing into ``_secrets`` slices, and
+wraps read child slots directly — no per-node objects are created except
+the :class:`EncryptedKey` records the payload itself is made of.
+
+Byte-identity contract
+----------------------
+:class:`FlatKeyTree` + :class:`FlatRekeyer` replicate the object kernel's
+*observable draw sequence* exactly — same ``_seq_value`` tiebreak draws
+(including the draws consumed by re-keying stale heap entries at pop
+time), same :class:`~repro.crypto.material.KeyGenerator` counter draws,
+same marking insertion order, same stable depth-descending refresh order,
+and same child slot order — so identical operation sequences yield
+byte-identical :class:`~repro.keytree.lkh.RekeyMessage` payloads
+(ciphertexts included) and identical serialized dumps.  The differential
+battery in ``tests/test_keytree_flat_differential.py`` enforces this on
+hypothesis-generated churn traces and golden fixtures; treat any change
+that battery rejects as a protocol change, not an optimization.
+
+One deliberate narrowing versus the object kernel: an individual key
+passed to :meth:`FlatKeyTree.add_member` must carry
+``key_id == "member:<member_id>"`` (every server in the repository does
+this).  The flat layout stores one id per slot, so a leaf whose key id
+differs from its node id is rejected instead of silently diverging.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import hashlib
+import heapq
+import hmac
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.crypto.cipher import encrypt
+from repro.crypto.material import KEY_SIZE, KeyGenerator, KeyMaterial
+from repro.crypto.wrap import EncryptedKey, LazyEncryptedKey, wrap_mode
+from repro.keytree.lkh import RekeyMessage
+from repro.obs import tracing as obs_tracing
+from repro.perf.instrumentation import count as perf_count
+
+NIL = -1
+ROOT = 0
+FORMAT_VERSION = 1  # shared with repro.keytree.serialize — dumps interchange
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Pause cyclic collection for the duration of a batch.
+
+    A large batch is an allocation burst — wrap records, heap entries,
+    marking dicts — in which everything allocated stays referenced until
+    the message is returned, so collections triggered mid-batch scan
+    millions of live objects and reclaim nothing (measured ~5s of a 1M
+    build).  Refcounting still frees the real garbage; only the cycle
+    detector is deferred to the caller's next allocation.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+class FlatLazyEncryptedKey(LazyEncryptedKey):
+    """A deferred wrap over raw secret bytes instead of KeyMaterial.
+
+    The flat kernel's key material lives in a mutable bytearray, so the
+    wrap must snapshot the secrets at wrap time (the object kernel gets
+    this for free from immutable ``KeyMaterial``).  Ciphertext bytes are
+    identical to :class:`~repro.crypto.wrap.LazyEncryptedKey` for the
+    same identities and secrets, and the inherited field-content
+    ``__eq__``/``__hash__`` compare across all :class:`EncryptedKey`
+    flavors.
+    """
+
+    def __init__(
+        self,
+        wrapping_id: str,
+        wrapping_version: int,
+        payload_id: str,
+        payload_version: int,
+        wrapping_secret: bytes,
+        payload_secret: bytes,
+    ) -> None:
+        # Same frozen-dataclass bypass as LazyEncryptedKey: one dict
+        # update is the entire per-wrap cost in deferred mode (assigning
+        # self.__dict__ itself would route through the frozen __setattr__).
+        self.__dict__.update(
+            wrapping_id=wrapping_id,
+            wrapping_version=wrapping_version,
+            payload_id=payload_id,
+            payload_version=payload_version,
+            _wrapping_secret=wrapping_secret,
+            _payload_secret=payload_secret,
+            _ciphertext=None,
+        )
+
+    @property
+    def ciphertext(self) -> bytes:  # type: ignore[override]
+        blob = self._ciphertext
+        if blob is None:
+            nonce = (
+                f"{self.wrapping_id}#{self.wrapping_version}"
+                f"->{self.payload_id}#{self.payload_version}"
+            ).encode("utf-8")
+            blob = encrypt(self._wrapping_secret, nonce, self._payload_secret)
+            self.__dict__["_ciphertext"] = blob
+        return blob
+
+    @property
+    def materialized(self) -> bool:
+        return self._ciphertext is not None
+
+
+class FlatNodeView:
+    """A read-only :class:`~repro.keytree.node.Node`-shaped view of a slot.
+
+    Views are created on demand for the API surfaces that want node
+    objects (``path_of``, ``root``, validation helpers); the hot batch
+    paths never build them.
+    """
+
+    __slots__ = ("tree", "index")
+
+    def __init__(self, tree: "FlatKeyTree", index: int) -> None:
+        self.tree = tree
+        self.index = index
+
+    @property
+    def node_id(self) -> str:
+        return self.tree._ids[self.index]
+
+    @property
+    def member_id(self) -> Optional[str]:
+        return self.tree._member[self.index]
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.tree._member[self.index] is not None
+
+    @property
+    def is_root(self) -> bool:
+        return self.tree._parent[self.index] == NIL
+
+    @property
+    def key(self) -> KeyMaterial:
+        tree = self.tree
+        base = self.index * KEY_SIZE
+        # Bypass dataclass __init__/__post_init__: secrets in the slot
+        # arrays are KEY_SIZE by construction, and per-receiver delivery
+        # builds one KeyMaterial per held path node.
+        key = object.__new__(KeyMaterial)
+        key.__dict__.update(
+            key_id=tree._ids[self.index],
+            version=tree._versions[self.index],
+            secret=bytes(tree._secrets[base : base + KEY_SIZE]),
+        )
+        return key
+
+    @property
+    def leaf_count(self) -> int:
+        self.tree._refresh_leafcnt()
+        return self.tree._leafcnt[self.index]
+
+    @property
+    def parent(self) -> Optional["FlatNodeView"]:
+        parent = self.tree._parent[self.index]
+        return None if parent == NIL else FlatNodeView(self.tree, parent)
+
+    @property
+    def children(self) -> List["FlatNodeView"]:
+        tree = self.tree
+        base = self.index * tree.degree
+        return [
+            FlatNodeView(tree, tree._child[slot])
+            for slot in range(base, base + tree._nchild[self.index])
+        ]
+
+    @property
+    def depth(self) -> int:
+        return self.tree._depth(self.index)
+
+    def path_to_root(self) -> List["FlatNodeView"]:
+        tree = self.tree
+        parent = tree._parent
+        path = [self]
+        node = parent[self.index]
+        while node != NIL:
+            path.append(FlatNodeView(tree, node))
+            node = parent[node]
+        return path
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FlatNodeView)
+            and other.tree is self.tree
+            and other.index == self.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.tree), self.index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        member = self.tree._member[self.index]
+        kind = (
+            f"leaf:{member}"
+            if member is not None
+            else f"internal[{self.tree._nchild[self.index]}]"
+        )
+        return f"<FlatNode {self.node_id} {kind} leaves={self.leaf_count}>"
+
+
+class FlatKeyTree:
+    """A balanced d-ary logical key tree over flat arrays.
+
+    Drop-in structural replacement for
+    :class:`~repro.keytree.tree.KeyTree`: same constructor signature,
+    same query/mutation API (node-valued methods return
+    :class:`FlatNodeView` records), same serialized dump format, and the
+    byte-identity contract described in the module docstring.
+    """
+
+    kernel = "flat"
+
+    def __init__(
+        self,
+        degree: int = 4,
+        keygen: Optional[KeyGenerator] = None,
+        name: str = "tree",
+    ) -> None:
+        if degree < 2:
+            raise ValueError("key tree degree must be at least 2")
+        self.degree = degree
+        self.name = name
+        self.keygen = keygen if keygen is not None else KeyGenerator()
+        self._seq_value = 0
+        self._nil_row = (NIL,) * degree
+        root_id = f"{name}/root"
+        # Slot arrays; slot 0 is always the root (never freed).
+        self._parent: List[int] = [NIL]
+        self._child: List[int] = list(self._nil_row)
+        self._nchild: List[int] = [0]
+        self._ids: List[Optional[str]] = [root_id]
+        self._member: List[Optional[str]] = [None]
+        self._versions: List[int] = [0]
+        self._secrets = bytearray(self.keygen.fresh_secret())
+        self._leafcnt: List[int] = [0]
+        # Leaf counts are not on any payload-visible path, so they are
+        # maintained lazily: structural edits mark them stale and
+        # _refresh_leafcnt() recomputes the whole array in one O(n) pass
+        # on the next read, instead of an O(depth) ancestor walk per edit.
+        self._leafcnt_fresh = True
+        # Exact depth per slot, maintained at every structural edit: the
+        # heaps' lazy revalidation compares entry depth against current
+        # depth on every pop, and an O(1) array read there replaces an
+        # O(depth) parent walk on the hottest path in a bulk join.
+        self._depthv: List[int] = [0]
+        self._gen: List[int] = [0]
+        self._free: List[int] = []
+        self._index: Dict[str, int] = {root_id: ROOT}
+        self._member_leaf: Dict[str, int] = {}
+        # Lazily-validated attachment heaps, exactly as in KeyTree: entries
+        # are (depth, seq, slot, slot_generation); stale entries re-key at
+        # pop time, consuming the same sequence draws the object tree would.
+        self._open_internal: List[tuple] = [(0, self._next_seq(), ROOT, 0)]
+        self._split_candidates: List[tuple] = []
+
+    def _next_seq(self) -> int:
+        value = self._seq_value
+        self._seq_value += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._member_leaf)
+
+    def __contains__(self, member_id: str) -> bool:
+        return member_id in self._member_leaf
+
+    def members(self) -> List[str]:
+        return list(self._member_leaf)
+
+    @property
+    def root(self) -> FlatNodeView:
+        return FlatNodeView(self, ROOT)
+
+    def leaf_of(self, member_id: str) -> FlatNodeView:
+        try:
+            return FlatNodeView(self, self._member_leaf[member_id])
+        except KeyError:
+            raise KeyError(
+                f"member {member_id!r} is not in tree {self.name!r}"
+            ) from None
+
+    def path_of(self, member_id: str) -> List[FlatNodeView]:
+        return self.leaf_of(member_id).path_to_root()
+
+    def node(self, node_id: str) -> FlatNodeView:
+        try:
+            return FlatNodeView(self, self._index[node_id])
+        except KeyError:
+            raise KeyError(f"no node {node_id!r} in tree {self.name!r}") from None
+
+    def height(self) -> int:
+        if not self._member_leaf:
+            return 0
+        return max(self._depth(leaf) for leaf in self._member_leaf.values())
+
+    def iter_nodes(self) -> Iterator[FlatNodeView]:
+        """Every node currently in the tree, preorder."""
+        child = self._child
+        nchild = self._nchild
+        degree = self.degree
+        stack = [ROOT]
+        while stack:
+            idx = stack.pop()
+            yield FlatNodeView(self, idx)
+            base = idx * degree
+            stack.extend(
+                child[slot] for slot in range(base + nchild[idx] - 1, base - 1, -1)
+            )
+
+    def internal_nodes(self) -> List[FlatNodeView]:
+        return [view for view in self.iter_nodes() if not view.is_leaf]
+
+    def _depth(self, idx: int) -> int:
+        return self._depthv[idx]
+
+    def _walk_depth(self, idx: int) -> int:
+        """Ground-truth depth by parent walk; ``validate()`` checks the
+        maintained ``_depthv`` array against this."""
+        parent = self._parent
+        depth = 0
+        node = parent[idx]
+        while node != NIL:
+            depth += 1
+            node = parent[node]
+        return depth
+
+    # ------------------------------------------------------------------
+    # slot management
+    # ------------------------------------------------------------------
+
+    def _alloc(
+        self,
+        node_id: str,
+        version: int,
+        secret: bytes,
+        member_id: Optional[str],
+    ) -> int:
+        free = self._free
+        if free:
+            idx = free.pop()
+            self._parent[idx] = NIL
+            self._nchild[idx] = 0
+            self._ids[idx] = node_id
+            self._member[idx] = member_id
+            self._versions[idx] = version
+            self._leafcnt[idx] = 1 if member_id is not None else 0
+            self._depthv[idx] = 0  # caller sets the real depth on attach
+            base = idx * KEY_SIZE
+            self._secrets[base : base + KEY_SIZE] = secret
+        else:
+            idx = len(self._ids)
+            self._parent.append(NIL)
+            self._child.extend(self._nil_row)
+            self._nchild.append(0)
+            self._ids.append(node_id)
+            self._member.append(member_id)
+            self._versions.append(version)
+            self._secrets.extend(secret)
+            self._leafcnt.append(1 if member_id is not None else 0)
+            self._depthv.append(0)
+            self._gen.append(0)
+        self._index[node_id] = idx
+        return idx
+
+    def _free_slot(self, idx: int) -> None:
+        del self._index[self._ids[idx]]
+        self._ids[idx] = None
+        self._member[idx] = None
+        self._gen[idx] += 1  # invalidates every outstanding heap entry
+        self._free.append(idx)
+
+    def _add_child(self, parent: int, child: int) -> None:
+        self._child[parent * self.degree + self._nchild[parent]] = child
+        self._nchild[parent] += 1
+        self._parent[child] = parent
+        self._leafcnt_fresh = False
+
+    def _remove_child(self, parent: int, child: int) -> None:
+        child_slots = self._child
+        base = parent * self.degree
+        count = self._nchild[parent]
+        slot = base
+        while child_slots[slot] != child:
+            slot += 1
+        for position in range(slot, base + count - 1):
+            child_slots[position] = child_slots[position + 1]
+        child_slots[base + count - 1] = NIL
+        self._nchild[parent] = count - 1
+        self._parent[child] = NIL
+        self._leafcnt_fresh = False
+
+    def _refresh_leafcnt(self) -> None:
+        if self._leafcnt_fresh:
+            return
+        leafcnt = self._leafcnt
+        member = self._member
+        child = self._child
+        nchild = self._nchild
+        degree = self.degree
+        # Children are assigned higher slot... not necessarily: freed slots
+        # are reused, so compute bottom-up with an explicit postorder stack.
+        stack = [(ROOT, False)]
+        while stack:
+            idx, expanded = stack.pop()
+            if member[idx] is not None:
+                leafcnt[idx] = 1
+                continue
+            base = idx * degree
+            children = child[base : base + nchild[idx]]
+            if expanded:
+                leafcnt[idx] = sum(leafcnt[c] for c in children)
+            else:
+                stack.append((idx, True))
+                stack.extend((c, False) for c in children)
+        self._leafcnt_fresh = True
+
+    # ------------------------------------------------------------------
+    # structural mutation (draw-for-draw with KeyTree)
+    # ------------------------------------------------------------------
+
+    def _fresh_internal(self) -> int:
+        node_id = f"{self.name}/n{self._next_seq()}"
+        # Inlined KeyGenerator.fresh_secret (same counter draw).
+        keygen = self.keygen
+        keygen._counter = counter = keygen._counter + 1
+        secret = hashlib.sha256(
+            keygen._root + counter.to_bytes(8, "big")
+        ).digest()
+        return self._alloc(node_id, 0, secret, None)
+
+    def add_member(
+        self, member_id: str, key: Optional[KeyMaterial] = None
+    ) -> FlatNodeView:
+        return FlatNodeView(self, self._add_member_slot(member_id, key))
+
+    def _add_member_slot(
+        self, member_id: str, key: Optional[KeyMaterial] = None, count: bool = True
+    ) -> int:
+        """Insert a leaf for ``member_id``; returns its slot.
+
+        ``count=False`` skips the per-add ``keytree.add_member`` bump so
+        batch callers can count once with ``n=len(joins)`` — totals stay
+        equal to the object kernel's per-call counting.
+        """
+        if member_id in self._member_leaf:
+            raise ValueError(f"member {member_id!r} already in tree {self.name!r}")
+        leaf_id = f"member:{member_id}"
+        if key is None:
+            version = 0
+            # Inlined KeyGenerator.fresh_secret (same counter draw).
+            keygen = self.keygen
+            keygen._counter = counter = keygen._counter + 1
+            secret = hashlib.sha256(
+                keygen._root + counter.to_bytes(8, "big")
+            ).digest()
+        else:
+            if key.key_id != leaf_id:
+                raise ValueError(
+                    f"flat kernel requires individual key id {leaf_id!r}, "
+                    f"got {key.key_id!r}"
+                )
+            version = key.version
+            secret = key.secret
+        idx = self._alloc(leaf_id, version, secret, member_id)
+        self._attach_leaf(idx)
+        self._member_leaf[member_id] = idx
+        if count:
+            perf_count("keytree.add_member")
+        return idx
+
+    def _attach_leaf(self, leaf: int) -> None:
+        target = self._pop_open_internal()
+        if target is not None:
+            target_idx, target_depth = target
+            self._add_child(target_idx, leaf)
+            self._depthv[leaf] = target_depth + 1
+            # Adding a child changes neither the target's depth nor the
+            # leaf's (= target + 1): both notes reuse the depth the pop
+            # just validated instead of re-walking the parent chain.
+            # _note_candidates is inlined here — the target is internal
+            # (open-heap note iff a slot remains), the new leaf always
+            # notes into the split heap — drawing the same seq values.
+            seq = self._seq_value
+            gens = self._gen
+            if self._nchild[target_idx] < self.degree:
+                heapq.heappush(
+                    self._open_internal,
+                    (target_depth, seq, target_idx, gens[target_idx]),
+                )
+                seq += 1
+            heapq.heappush(
+                self._split_candidates,
+                (target_depth + 1, seq, leaf, gens[leaf]),
+            )
+            self._seq_value = seq + 1
+            return
+        victim = self._pop_split_candidate()
+        if victim is None:
+            raise RuntimeError("key tree has no attachment point")
+        victim_idx, victim_depth = victim
+        self._split_leaf(victim_idx, leaf, victim_depth)
+
+    def _split_leaf(
+        self, victim: int, leaf: int, victim_depth: Optional[int] = None
+    ) -> None:
+        if victim_depth is None:
+            victim_depth = self._depth(victim)
+        parent = self._parent[victim]
+        assert parent != NIL, "split candidate cannot be the root"
+        self._remove_child(parent, victim)
+        joint = self._fresh_internal()
+        self._add_child(joint, victim)
+        self._add_child(joint, leaf)
+        self._add_child(parent, joint)
+        depthv = self._depthv
+        depthv[joint] = victim_depth
+        depthv[victim] = depthv[leaf] = victim_depth + 1
+        # The joint takes the victim's old slot; both leaves sit below it.
+        # _note_candidates inlined (same draw order): the joint is internal
+        # (open note iff a child slot remains — degree 2 fills it), the
+        # victim and new leaf are member leaves.
+        seq = self._seq_value
+        gens = self._gen
+        if self._nchild[joint] < self.degree:
+            heapq.heappush(
+                self._open_internal, (victim_depth, seq, joint, gens[joint])
+            )
+            seq += 1
+        heapq.heappush(
+            self._split_candidates,
+            (victim_depth + 1, seq, victim, gens[victim]),
+        )
+        heapq.heappush(
+            self._split_candidates,
+            (victim_depth + 1, seq + 1, leaf, gens[leaf]),
+        )
+        self._seq_value = seq + 2
+
+    def _note_candidates(self, idx: int, depth: Optional[int] = None) -> None:
+        if depth is None:
+            depth = self._depth(idx)
+        if self._member[idx] is not None:
+            heapq.heappush(
+                self._split_candidates,
+                (depth, self._next_seq(), idx, self._gen[idx]),
+            )
+        elif self._nchild[idx] < self.degree:
+            heapq.heappush(
+                self._open_internal,
+                (depth, self._next_seq(), idx, self._gen[idx]),
+            )
+
+    def _pop_open_internal(self) -> Optional[Tuple[int, int]]:
+        """Shallowest live open internal slot as ``(slot, depth)``."""
+        heap = self._open_internal
+        gens = self._gen
+        member = self._member
+        nchild = self._nchild
+        degree = self.degree
+        depthv = self._depthv
+        while heap:
+            depth, __, idx, gen = heap[0]
+            if gens[idx] != gen or member[idx] is not None or nchild[idx] >= degree:
+                heapq.heappop(heap)
+                continue
+            actual = depthv[idx]
+            if actual != depth:
+                heapq.heapreplace(heap, (actual, self._next_seq(), idx, gen))
+                continue
+            heapq.heappop(heap)
+            return idx, depth
+        return None
+
+    def _pop_split_candidate(self) -> Optional[Tuple[int, int]]:
+        """Shallowest live leaf slot as ``(slot, depth)``."""
+        heap = self._split_candidates
+        gens = self._gen
+        member = self._member
+        parent = self._parent
+        depthv = self._depthv
+        while heap:
+            depth, __, idx, gen = heap[0]
+            if gens[idx] != gen or member[idx] is None or parent[idx] == NIL:
+                heapq.heappop(heap)
+                continue
+            actual = depthv[idx]
+            if actual != depth:
+                heapq.heapreplace(heap, (actual, self._next_seq(), idx, gen))
+                continue
+            heapq.heappop(heap)
+            # The leaf stays in the tree under a new internal parent.
+            self._note_candidates(idx, depth)
+            return idx, depth
+        return None
+
+    def remove_member(self, member_id: str) -> List[FlatNodeView]:
+        return [
+            FlatNodeView(self, idx)
+            for idx in self._remove_member_slot(member_id)
+        ]
+
+    def _remove_member_slot(self, member_id: str, count: bool = True) -> List[int]:
+        """Detach the member's leaf; surviving ancestor slots, deepest first."""
+        leaf = self._member_leaf.pop(member_id, None)
+        if leaf is None:
+            raise KeyError(f"member {member_id!r} is not in tree {self.name!r}")
+        parent = self._parent[leaf]
+        assert parent != NIL, "member leaf must have a parent"
+        self._remove_child(parent, leaf)
+        self._free_slot(leaf)
+
+        parents = self._parent
+        if parent != ROOT and self._nchild[parent] == 1:
+            # Splice out the now-unary internal node.
+            only_child = self._child[parent * self.degree]
+            grand = parents[parent]
+            assert grand != NIL
+            self._remove_child(parent, only_child)
+            self._remove_child(grand, parent)
+            self._add_child(grand, only_child)
+            self._free_slot(parent)
+            # The spliced-in subtree moves up one level; removals are rare
+            # and the subtree is typically a leaf or a small cluster.
+            depthv = self._depthv
+            member = self._member
+            child_slots = self._child
+            nchild = self._nchild
+            degree = self.degree
+            stack = [only_child]
+            while stack:
+                idx = stack.pop()
+                depthv[idx] -= 1
+                if member[idx] is None:
+                    base = idx * degree
+                    stack.extend(child_slots[base : base + nchild[idx]])
+            self._note_candidates(grand)
+            self._note_candidates(only_child)
+            start = parents[only_child]
+        else:
+            self._note_candidates(parent)
+            start = parent
+        survivors = []
+        node = start
+        while node != NIL:
+            survivors.append(node)
+            node = parents[node]
+        if count:
+            perf_count("keytree.remove_member")
+        return survivors
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; ``AssertionError`` on violation.
+
+        Mirrors :meth:`KeyTree.validate` and additionally checks the
+        flat-layout bookkeeping: the free list and the live slots must
+        partition the slot space, and the id index must match the ids
+        array exactly.
+        """
+        self._refresh_leafcnt()
+        degree = self.degree
+        reachable: Dict[str, int] = {}
+        stack = [ROOT]
+        while stack:
+            idx = stack.pop()
+            node_id = self._ids[idx]
+            assert node_id is not None, f"reachable slot {idx} is freed"
+            assert node_id not in reachable, f"duplicate node id {node_id}"
+            reachable[node_id] = idx
+            count = self._nchild[idx]
+            assert count <= degree, f"node {node_id} has {count} > d children"
+            base = idx * degree
+            children = self._child[base : base + count]
+            if self._member[idx] is not None:
+                assert count == 0, f"leaf {node_id} has children"
+                assert self._leafcnt[idx] == 1
+            else:
+                if idx != ROOT:
+                    assert count >= 2, f"non-root internal node {node_id} is unary"
+                assert self._leafcnt[idx] == sum(
+                    self._leafcnt[c] for c in children
+                ), f"leaf_count stale at {node_id}"
+            for child in children:
+                assert self._parent[child] == idx, (
+                    f"child {self._ids[child]} does not point back to {node_id}"
+                )
+            stack.extend(reversed(children))
+        live = {
+            node_id: idx
+            for idx, node_id in enumerate(self._ids)
+            if node_id is not None
+        }
+        assert reachable == live, "live-slot set out of sync with reachability"
+        assert self._index == live, "node-id index out of sync"
+        leaves = {
+            self._member[idx]: idx
+            for idx in live.values()
+            if self._member[idx] is not None
+        }
+        assert leaves == self._member_leaf, "member-to-leaf map out of sync"
+        for node_id, idx in reachable.items():
+            assert self._depthv[idx] == self._walk_depth(idx), (
+                f"maintained depth stale at {node_id}"
+            )
+        free = set(self._free)
+        assert len(free) == len(self._free), "free list has duplicates"
+        assert free.isdisjoint(live.values()), "freed slot is reachable"
+        assert free | set(live.values()) == set(range(len(self._ids))), (
+            "slots neither live nor free"
+        )
+
+    def is_balanced(self, slack: int = 1) -> bool:
+        if self.size <= 1:
+            return True
+        import math
+
+        optimal = math.ceil(math.log(self.size, self.degree))
+        return self.height() <= optimal + slack
+
+    # ------------------------------------------------------------------
+    # serialization (format-identical to repro.keytree.serialize)
+    # ------------------------------------------------------------------
+
+    def _node_to_dict(self, idx: int) -> Dict:
+        base = idx * KEY_SIZE
+        data: Dict = {
+            "id": self._ids[idx],
+            "version": self._versions[idx],
+            "secret": bytes(self._secrets[base : base + KEY_SIZE]).hex(),
+        }
+        if self._member[idx] is not None:
+            data["member"] = self._member[idx]
+        else:
+            child_base = idx * self.degree
+            data["children"] = [
+                self._node_to_dict(self._child[slot])
+                for slot in range(child_base, child_base + self._nchild[idx])
+            ]
+        return data
+
+    def _heap_to_list(self, heap: List[tuple]) -> List[List]:
+        gens = self._gen
+        return [
+            [depth, seq, self._ids[idx]]
+            for depth, seq, idx, gen in heap
+            if gens[idx] == gen
+        ]
+
+    def to_dict(self) -> Dict:
+        """Serialize to the exact :func:`repro.keytree.serialize.tree_to_dict`
+        format — object- and flat-kernel dumps are interchangeable."""
+        return {
+            "format": FORMAT_VERSION,
+            "name": self.name,
+            "degree": self.degree,
+            "seq": self._seq_value,
+            "root": self._node_to_dict(ROOT),
+            "open_internal": self._heap_to_list(self._open_internal),
+            "split_candidates": self._heap_to_list(self._split_candidates),
+        }
+
+    def _build_from_dict(self, data: Dict, parent: Optional[int]) -> int:
+        member = data.get("member")
+        idx = self._alloc(
+            data["id"],
+            int(data["version"]),
+            bytes.fromhex(data["secret"]),
+            member,
+        )
+        if member is not None:
+            self._member_leaf[member] = idx
+        if parent is not None:
+            self._add_child(parent, idx)
+            self._depthv[idx] = self._depthv[parent] + 1
+        for child_data in data.get("children", ()):
+            self._build_from_dict(child_data, idx)
+        return idx
+
+    def _heap_from_list(self, entries: List[List]) -> List[tuple]:
+        index = self._index
+        gens = self._gen
+        heap = []
+        for depth, seq, node_id in entries:
+            idx = index.get(node_id)
+            if idx is None:
+                continue
+            heap.append((int(depth), int(seq), idx, gens[idx]))
+        heapq.heapify(heap)
+        return heap
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict, keygen: Optional[KeyGenerator] = None
+    ) -> "FlatKeyTree":
+        """Rebuild from :meth:`to_dict` (or object-kernel
+        :func:`~repro.keytree.serialize.tree_to_dict`) output."""
+        if data.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported key-tree dump format: {data.get('format')!r}"
+            )
+        tree = cls(degree=int(data["degree"]), keygen=keygen, name=data["name"])
+        # Reset the constructor's root-only state and rebuild every slot
+        # from the dump (slot numbering is internal, not part of the
+        # format; preorder assignment is as good as any).
+        tree._parent = []
+        tree._child = []
+        tree._nchild = []
+        tree._ids = []
+        tree._member = []
+        tree._versions = []
+        tree._secrets = bytearray()
+        tree._leafcnt = []
+        tree._depthv = []
+        tree._gen = []
+        tree._free = []
+        tree._index = {}
+        tree._member_leaf = {}
+        root_idx = tree._build_from_dict(data["root"], None)
+        assert root_idx == ROOT
+        if "open_internal" in data:
+            tree._open_internal = tree._heap_from_list(data["open_internal"])
+            tree._split_candidates = tree._heap_from_list(
+                data["split_candidates"]
+            )
+        else:  # legacy dump: reseed from structure, like tree_from_dict
+            tree._open_internal = []
+            tree._split_candidates = []
+            for idx in (view.index for view in tree.iter_nodes()):
+                tree._note_candidates(idx)
+        # Pin the counter last: the legacy reseed path consumes draws that
+        # must not advance the restored value.
+        tree._seq_value = int(data["seq"])
+        tree.validate()
+        return tree
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlatKeyTree {self.name!r} d={self.degree} members={self.size} "
+            f"height={self.height()}>"
+        )
+
+
+class FlatRekeyer:
+    """LKH rekeying over a :class:`FlatKeyTree`.
+
+    Mirrors :class:`~repro.keytree.lkh.LkhRekeyer` operation for
+    operation (see the module docstring's byte-identity contract); the
+    hot loops run over the tree's arrays instead of node objects.
+    """
+
+    def __init__(
+        self, tree: FlatKeyTree, keygen: Optional[KeyGenerator] = None
+    ) -> None:
+        self.tree = tree
+        self.keygen = keygen if keygen is not None else tree.keygen
+        self._next_epoch = 1
+
+    def _take_epoch(self) -> int:
+        epoch = self._next_epoch
+        self._next_epoch += 1
+        return epoch
+
+    # ------------------------------------------------------------------
+    # individual operations
+    # ------------------------------------------------------------------
+
+    def join(
+        self, member_id: str, key: Optional[KeyMaterial] = None
+    ) -> Tuple[FlatNodeView, RekeyMessage]:
+        tree = self.tree
+        before = set(tree._index)
+        leaf = tree._add_member_slot(member_id, key)
+        message = RekeyMessage(
+            group=tree.name, epoch=self._take_epoch(), joined=[member_id]
+        )
+        ids = tree._ids
+        versions = tree._versions
+        secrets = tree._secrets
+        parents = tree._parent
+        deferred = wrap_mode() == "deferred"
+        eks = message.encrypted_keys
+        leaf_id = ids[leaf]
+        leaf_version = versions[leaf]
+        leaf_base = leaf * KEY_SIZE
+        leaf_secret = bytes(secrets[leaf_base : leaf_base + KEY_SIZE])
+        keygen = self.keygen
+        wraps = 0
+        node = parents[leaf]
+        while node != NIL:
+            node_id = ids[node]
+            base = node * KEY_SIZE
+            old_version = versions[node]
+            old_secret = bytes(secrets[base : base + KEY_SIZE])
+            new_secret = keygen.fresh_secret()
+            secrets[base : base + KEY_SIZE] = new_secret
+            new_version = old_version + 1
+            versions[node] = new_version
+            message.updated.append((node_id, new_version))
+            if node_id in before:
+                # Existing key: one wrap under the previous version.
+                eks.append(
+                    _make_wrap(
+                        deferred, node_id, old_version, node_id, new_version,
+                        old_secret, new_secret,
+                    )
+                )
+                wraps += 1
+            else:
+                # Split-created joint: wrap under the displaced children.
+                child_base = node * tree.degree
+                for slot in range(child_base, child_base + tree._nchild[node]):
+                    child = tree._child[slot]
+                    if child != leaf:
+                        child_key_base = child * KEY_SIZE
+                        eks.append(
+                            _make_wrap(
+                                deferred, ids[child], versions[child],
+                                node_id, new_version,
+                                bytes(
+                                    secrets[
+                                        child_key_base : child_key_base + KEY_SIZE
+                                    ]
+                                ),
+                                new_secret,
+                            )
+                        )
+                        wraps += 1
+            # The joiner bootstraps from its individual key.
+            eks.append(
+                _make_wrap(
+                    deferred, leaf_id, leaf_version, node_id, new_version,
+                    leaf_secret, new_secret,
+                )
+            )
+            wraps += 1
+            node = parents[node]
+        if wraps:
+            perf_count("crypto.wraps", wraps)
+        return FlatNodeView(tree, leaf), message
+
+    def leave(self, member_id: str) -> RekeyMessage:
+        tree = self.tree
+        survivors = tree._remove_member_slot(member_id)
+        message = RekeyMessage(
+            group=tree.name, epoch=self._take_epoch(), departed=[member_id]
+        )
+        ids = tree._ids
+        self._refresh_and_wrap([(ids[idx], idx) for idx in survivors], message)
+        return message
+
+    # ------------------------------------------------------------------
+    # batched rekeying
+    # ------------------------------------------------------------------
+
+    def rekey_batch(
+        self,
+        joins: Sequence[Tuple[str, Optional[KeyMaterial]]] = (),
+        departures: Sequence[str] = (),
+        force_root: bool = False,
+        join_refresh: str = "random",
+    ) -> RekeyMessage:
+        if join_refresh not in ("random", "owf"):
+            raise ValueError("join_refresh must be 'random' or 'owf'")
+        with _gc_paused():
+            if join_refresh == "owf" and not departures and not force_root:
+                return self._rekey_batch_owf(joins)
+            return self._rekey_batch_mixed(joins, departures, force_root)
+
+    def _rekey_batch_mixed(
+        self,
+        joins: Sequence[Tuple[str, Optional[KeyMaterial]]],
+        departures: Sequence[str],
+        force_root: bool,
+    ) -> RekeyMessage:
+        tree = self.tree
+        message = RekeyMessage(group=tree.name, epoch=self._take_epoch())
+        ids = tree._ids
+        parents = tree._parent
+        index = tree._index
+        add_slot = tree._add_member_slot
+        # node_id -> slot at marking time; insertion order is the marking
+        # order the refresh sort must preserve.  Liveness is re-checked
+        # after all removals via the id index (a spliced-out node's id is
+        # gone; a reused slot belongs to a different id), which is exactly
+        # the object kernel's ``_alive`` identity test.
+        marked: Dict[str, int] = {}
+
+        with obs_tracing.span("mark") as mark_span:
+            for member_id in departures:
+                for idx in tree._remove_member_slot(member_id, count=False):
+                    marked[ids[idx]] = idx
+                message.departed.append(member_id)
+            if departures:
+                perf_count("keytree.remove_member", len(departures))
+
+            joined = message.joined
+            # Fused bulk-join fast path: _add_member_slot + _alloc +
+            # _attach_leaf inlined for the common case (fresh slot, no
+            # provided key, an open internal target).  Per-join Python
+            # call overhead is the dominant build cost at N=1M; the rare
+            # cases (freelist reuse after departures, caller-provided
+            # keys, splits) fall back to the generic methods with the
+            # seq/keygen counters synced around the call, so every draw
+            # lands in the same order as the object kernel's.
+            free = tree._free
+            member = tree._member
+            member_leaf = tree._member_leaf
+            child = tree._child
+            nchild = tree._nchild
+            versions = tree._versions
+            leafcnt = tree._leafcnt
+            depthv = tree._depthv
+            gens = tree._gen
+            secrets = tree._secrets
+            nil_row = tree._nil_row
+            degree = tree.degree
+            open_heap = tree._open_internal
+            split_heap = tree._split_candidates
+            keygen = tree.keygen
+            kg_root = keygen._root
+            kg_counter = keygen._counter
+            seq = tree._seq_value
+            sha256 = hashlib.sha256
+            heappush = heapq.heappush
+            heappop = heapq.heappop
+            heapreplace = heapq.heapreplace
+            if joins:
+                tree._leafcnt_fresh = False
+            for member_id, key in joins:
+                if key is not None or free:
+                    tree._seq_value = seq
+                    keygen._counter = kg_counter
+                    leaf = add_slot(member_id, key, count=False)
+                    seq = tree._seq_value
+                    kg_counter = keygen._counter
+                else:
+                    if member_id in member_leaf:
+                        raise ValueError(
+                            f"member {member_id!r} already in tree {tree.name!r}"
+                        )
+                    leaf_id = f"member:{member_id}"
+                    kg_counter += 1
+                    secret = sha256(
+                        kg_root + kg_counter.to_bytes(8, "big")
+                    ).digest()
+                    leaf = len(ids)
+                    parents.append(NIL)
+                    child.extend(nil_row)
+                    nchild.append(0)
+                    ids.append(leaf_id)
+                    member.append(member_id)
+                    versions.append(0)
+                    secrets.extend(secret)
+                    leafcnt.append(1)
+                    depthv.append(0)
+                    gens.append(0)
+                    index[leaf_id] = leaf
+                    attached = False
+                    while open_heap:
+                        depth, __, tidx, gen = open_heap[0]
+                        if (
+                            gens[tidx] != gen
+                            or member[tidx] is not None
+                            or nchild[tidx] >= degree
+                        ):
+                            heappop(open_heap)
+                            continue
+                        actual = depthv[tidx]
+                        if actual != depth:
+                            heapreplace(open_heap, (actual, seq, tidx, gen))
+                            seq += 1
+                            continue
+                        heappop(open_heap)
+                        nc = nchild[tidx]
+                        child[tidx * degree + nc] = leaf
+                        nchild[tidx] = nc + 1
+                        parents[leaf] = tidx
+                        depthv[leaf] = depth + 1
+                        if nc + 1 < degree:
+                            heappush(open_heap, (depth, seq, tidx, gens[tidx]))
+                            seq += 1
+                        heappush(split_heap, (depth + 1, seq, leaf, gens[leaf]))
+                        seq += 1
+                        attached = True
+                        break
+                    if not attached:
+                        tree._seq_value = seq
+                        keygen._counter = kg_counter
+                        victim = tree._pop_split_candidate()
+                        if victim is None:
+                            raise RuntimeError("key tree has no attachment point")
+                        tree._split_leaf(victim[0], leaf, victim[1])
+                        seq = tree._seq_value
+                        kg_counter = keygen._counter
+                    member_leaf[member_id] = leaf
+                node = parents[leaf]
+                while node != NIL:
+                    node_id = ids[node]
+                    if node_id in marked:
+                        # Earlier markings covered the rest of the path.
+                        break
+                    marked[node_id] = node
+                    node = parents[node]
+                joined.append(member_id)
+            tree._seq_value = seq
+            keygen._counter = kg_counter
+            if joins:
+                perf_count("keytree.add_member", len(joins))
+
+            # Removals may have spliced out previously marked nodes.
+            live_marked = [
+                (node_id, idx)
+                for node_id, idx in marked.items()
+                if index.get(node_id) == idx
+            ]
+            if force_root and all(idx != ROOT for __, idx in live_marked):
+                live_marked.append((ids[ROOT], ROOT))
+            mark_span.set("marked", len(live_marked))
+
+        self._refresh_and_wrap(live_marked, message)
+        return message
+
+    def _rekey_batch_owf(
+        self, joins: Sequence[Tuple[str, Optional[KeyMaterial]]]
+    ) -> RekeyMessage:
+        tree = self.tree
+        message = RekeyMessage(group=tree.name, epoch=self._take_epoch())
+        before = set(tree._index)
+        ids = tree._ids
+        versions = tree._versions
+        secrets = tree._secrets
+        parents = tree._parent
+        marked: Dict[str, int] = {}  # join-only: no splices, slots stay live
+        new_leaves: List[int] = []
+        for member_id, key in joins:
+            leaf = tree._add_member_slot(member_id, key, count=False)
+            new_leaves.append(leaf)
+            node = parents[leaf]
+            while node != NIL:
+                marked[ids[node]] = node
+                node = parents[node]
+            message.joined.append(member_id)
+        if joins:
+            perf_count("keytree.add_member", len(joins))
+
+        joining_leaf_ids = {ids[leaf] for leaf in new_leaves}
+        depths = tree._depthv
+        marked_list = sorted(
+            marked.items(), key=lambda item: depths[item[1]], reverse=True
+        )
+        deferred = wrap_mode() == "deferred"
+        eks = message.encrypted_keys
+        keygen = self.keygen
+        wraps = 0
+        for node_id, idx in marked_list:
+            base = idx * KEY_SIZE
+            if node_id in before:
+                # One-way advance: holders compute it locally, no wraps.
+                new_secret = hmac.new(
+                    bytes(secrets[base : base + KEY_SIZE]),
+                    b"repro-advance",
+                    hashlib.sha256,
+                ).digest()
+                secrets[base : base + KEY_SIZE] = new_secret
+                versions[idx] += 1
+                message.advanced.append((node_id, versions[idx]))
+            else:
+                # Split-created joint: fresh key wrapped under the
+                # displaced (non-joining) children.
+                new_secret = keygen.fresh_secret()
+                secrets[base : base + KEY_SIZE] = new_secret
+                versions[idx] += 1
+                new_version = versions[idx]
+                message.updated.append((node_id, new_version))
+                child_base = idx * tree.degree
+                for slot in range(child_base, child_base + tree._nchild[idx]):
+                    child = tree._child[slot]
+                    child_id = ids[child]
+                    if child_id not in joining_leaf_ids:
+                        child_key_base = child * KEY_SIZE
+                        eks.append(
+                            _make_wrap(
+                                deferred, child_id, versions[child],
+                                node_id, new_version,
+                                bytes(
+                                    secrets[
+                                        child_key_base : child_key_base + KEY_SIZE
+                                    ]
+                                ),
+                                new_secret,
+                            )
+                        )
+                        wraps += 1
+        for leaf in new_leaves:
+            leaf_id = ids[leaf]
+            leaf_version = versions[leaf]
+            leaf_base = leaf * KEY_SIZE
+            leaf_secret = bytes(secrets[leaf_base : leaf_base + KEY_SIZE])
+            node = parents[leaf]
+            while node != NIL:
+                base = node * KEY_SIZE
+                eks.append(
+                    _make_wrap(
+                        deferred, leaf_id, leaf_version,
+                        ids[node], versions[node],
+                        leaf_secret, bytes(secrets[base : base + KEY_SIZE]),
+                    )
+                )
+                wraps += 1
+                node = parents[node]
+        if wraps:
+            perf_count("crypto.wraps", wraps)
+        return message
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+
+    def _refresh_and_wrap(
+        self, marked: Sequence[Tuple[str, int]], message: RekeyMessage
+    ) -> None:
+        """Refresh marked slots deepest-first, then wrap under children.
+
+        ``marked`` is ``(node_id, slot)`` pairs in marking order; the
+        stable depth-descending sort and the per-slot draw order replicate
+        :meth:`LkhRekeyer._refresh_and_wrap` exactly.
+        """
+        tree = self.tree
+        pairs = list(dict.fromkeys(marked))
+        depths = tree._depthv
+        pairs.sort(key=lambda pair: depths[pair[1]], reverse=True)
+
+        versions = tree._versions
+        secrets = tree._secrets
+        updated = message.updated
+        keygen = self.keygen
+        fresh: Dict[int, bytes] = {}
+        with obs_tracing.span("generate", refreshed=len(pairs)):
+            # Inlined KeyGenerator.fresh_secret: same root, same counter
+            # draws, hoisted out of the per-node call overhead.  The digest
+            # bytes are kept in ``fresh`` so the wrap loop below never has
+            # to re-slice the bytearray for a refreshed slot.
+            root = keygen._root
+            counter = keygen._counter
+            sha256 = hashlib.sha256
+            for node_id, idx in pairs:
+                counter += 1
+                base = idx * KEY_SIZE
+                secret = sha256(root + counter.to_bytes(8, "big")).digest()
+                secrets[base : base + KEY_SIZE] = secret
+                fresh[idx] = secret
+                version = versions[idx] + 1
+                versions[idx] = version
+                updated.append((node_id, version))
+            keygen._counter = counter
+
+        with obs_tracing.span("wrap") as wrap_span:
+            ids = tree._ids
+            child_slots = tree._child
+            nchild = tree._nchild
+            degree = tree.degree
+            eks = message.encrypted_keys
+            wraps_before = len(eks)
+            append = eks.append
+            fresh_get = fresh.get
+            if wrap_mode() == "deferred":
+                for node_id, idx in pairs:
+                    payload_version = versions[idx]
+                    payload_secret = fresh[idx]
+                    child_base = idx * degree
+                    for slot in range(child_base, child_base + nchild[idx]):
+                        child = child_slots[slot]
+                        child_secret = fresh_get(child)
+                        if child_secret is None:
+                            child_key_base = child * KEY_SIZE
+                            child_secret = bytes(
+                                secrets[child_key_base : child_key_base + KEY_SIZE]
+                            )
+                        append(
+                            FlatLazyEncryptedKey(
+                                ids[child],
+                                versions[child],
+                                node_id,
+                                payload_version,
+                                child_secret,
+                                payload_secret,
+                            )
+                        )
+            else:
+                for node_id, idx in pairs:
+                    payload_version = versions[idx]
+                    payload_secret = fresh[idx]
+                    child_base = idx * degree
+                    for slot in range(child_base, child_base + nchild[idx]):
+                        child = child_slots[slot]
+                        child_secret = fresh_get(child)
+                        if child_secret is None:
+                            child_key_base = child * KEY_SIZE
+                            child_secret = bytes(
+                                secrets[child_key_base : child_key_base + KEY_SIZE]
+                            )
+                        append(
+                            _eager_wrap(
+                                ids[child],
+                                versions[child],
+                                node_id,
+                                payload_version,
+                                child_secret,
+                                payload_secret,
+                            )
+                        )
+            wrap_span.set("wraps", len(eks))
+            wraps = len(eks) - wraps_before
+        if wraps:
+            perf_count("crypto.wraps", wraps)
+
+    def refresh_root(self) -> RekeyMessage:
+        tree = self.tree
+        message = RekeyMessage(group=tree.name, epoch=self._take_epoch())
+        self._refresh_and_wrap([(tree._ids[ROOT], ROOT)], message)
+        return message
+
+
+def _eager_wrap(
+    wrapping_id: str,
+    wrapping_version: int,
+    payload_id: str,
+    payload_version: int,
+    wrapping_secret: bytes,
+    payload_secret: bytes,
+) -> EncryptedKey:
+    nonce = (
+        f"{wrapping_id}#{wrapping_version}->{payload_id}#{payload_version}"
+    ).encode("utf-8")
+    return EncryptedKey(
+        wrapping_id=wrapping_id,
+        wrapping_version=wrapping_version,
+        payload_id=payload_id,
+        payload_version=payload_version,
+        ciphertext=encrypt(wrapping_secret, nonce, payload_secret),
+    )
+
+
+def _make_wrap(
+    deferred: bool,
+    wrapping_id: str,
+    wrapping_version: int,
+    payload_id: str,
+    payload_version: int,
+    wrapping_secret: bytes,
+    payload_secret: bytes,
+) -> EncryptedKey:
+    if deferred:
+        return FlatLazyEncryptedKey(
+            wrapping_id, wrapping_version, payload_id, payload_version,
+            wrapping_secret, payload_secret,
+        )
+    return _eager_wrap(
+        wrapping_id, wrapping_version, payload_id, payload_version,
+        wrapping_secret, payload_secret,
+    )

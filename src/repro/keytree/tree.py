@@ -48,6 +48,9 @@ class KeyTree:
         the trees a single server composes so key ids never collide.
     """
 
+    #: Kernel discriminator (``repro.keytree.flat`` provides ``"flat"``).
+    kernel = "object"
+
     def __init__(
         self,
         degree: int = 4,

@@ -186,6 +186,11 @@ class BenchScenario:
     #: record ``speedup_vs_serial``.
     workers: int = 1
     backend: str = "serial"
+    #: Tree kernel (``"object"`` or ``"flat"``).  Flat cells also run the
+    #: same scenario on the object kernel and record ``speedup_vs_object``
+    #: plus whether ``mean_batch_cost`` matched (the kernels must differ
+    #: in wall-clock only, never in payload).
+    kernel: str = "object"
 
 
 def standard_scenarios() -> List[BenchScenario]:
@@ -242,6 +247,22 @@ def standard_scenarios() -> List[BenchScenario]:
             "sharded-s4-full-10k-process-w4", 10_000, FULL_CRYPTO, 3, 32, 0,
             server="sharded", shards=4, workers=4, backend="process",
         ),
+        # Flat-kernel family — same workloads on the flat-array tree core;
+        # each runs an object-kernel reference and records
+        # ``speedup_vs_object`` with a payload-cost match gate.
+        BenchScenario(
+            "flat-cost-100k", 100_000, COST_ONLY, 3, 64, 1_000, kernel="flat",
+        ),
+        BenchScenario(
+            "flat-cost-1m", 1_000_000, COST_ONLY, 2, 64, 500, kernel="flat",
+        ),
+        BenchScenario(
+            "flat-full-10k", 10_000, FULL_CRYPTO, 3, 32, 0, kernel="flat",
+        ),
+        BenchScenario(
+            "sharded-s4-flat-cost-100k", 100_000, COST_ONLY, 3, 64, 1_000,
+            server="sharded", shards=4, kernel="flat",
+        ),
     ]
 
 
@@ -259,6 +280,13 @@ def quick_scenarios() -> List[BenchScenario]:
             "sharded-s4-cost-1k-process-w2", 1_000, COST_ONLY, 3, 16, 500,
             server="sharded", shards=4, workers=2, backend="process",
         ),
+        BenchScenario(
+            "flat-cost-10k", 10_000, COST_ONLY, 3, 32, 1_000, kernel="flat",
+        ),
+        BenchScenario(
+            "sharded-s4-flat-cost-1k", 1_000, COST_ONLY, 3, 16, 500,
+            server="sharded", shards=4, kernel="flat",
+        ),
     ]
 
 
@@ -274,8 +302,13 @@ def _build_bench_server(scenario: BenchScenario):
             degree=scenario.degree,
             group=scenario.name,
             payload=payload,
+            tree_kernel=scenario.kernel,
         )
-    return OneTreeServer(degree=scenario.degree, group=scenario.name)
+    return OneTreeServer(
+        degree=scenario.degree,
+        group=scenario.name,
+        tree_kernel=scenario.kernel,
+    )
 
 
 def _held_versions_of(server, member_id: str) -> Dict[str, int]:
@@ -444,7 +477,9 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
     Sharded cells with a non-serial backend also run the same protocol
     configuration on the serial backend and record ``speedup_vs_serial``
     plus whether ``mean_batch_cost`` matched — the backend must change
-    wall-clock only, never the payload.
+    wall-clock only, never the payload.  Flat-kernel cells likewise run
+    an object-kernel reference and record ``speedup_vs_object`` with the
+    same cost-match gate (kernels are execution-only too).
     """
     optimized = _run_variant(scenario, optimized=True)
     gc.collect()
@@ -471,6 +506,21 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
             serial_ref["mean_batch_cost"] == optimized["mean_batch_cost"]
         )
 
+    object_ref = None
+    speedup_vs_object = None
+    cost_matches_object = None
+    if scenario.kernel == "flat":
+        reference = replace(scenario, kernel="object")
+        object_ref = _run_variant(reference, optimized=True)
+        gc.collect()
+        if optimized["total_s"]:
+            speedup_vs_object = round(
+                object_ref["total_s"] / optimized["total_s"], 2
+            )
+        cost_matches_object = (
+            object_ref["mean_batch_cost"] == optimized["mean_batch_cost"]
+        )
+
     return {
         "name": scenario.name,
         "members": scenario.members,
@@ -482,12 +532,16 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
         "shards": scenario.shards,
         "workers": scenario.workers,
         "backend": scenario.backend,
+        "kernel": scenario.kernel,
         "optimized": optimized,
         "baseline": baseline,
         "speedup": speedup,
         "serial_ref": serial_ref,
         "speedup_vs_serial": speedup_vs_serial,
         "mean_batch_cost_matches_serial": cost_matches_serial,
+        "object_ref": object_ref,
+        "speedup_vs_object": speedup_vs_object,
+        "mean_batch_cost_matches_object": cost_matches_object,
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -535,6 +589,11 @@ def run_bench(
                 line += (
                     f", serial {result['serial_ref']['total_s']:.2f}s"
                     f" -> {result['speedup_vs_serial']:.1f}x vs serial"
+                )
+            if result["speedup_vs_object"] is not None:
+                line += (
+                    f", object {result['object_ref']['total_s']:.2f}s"
+                    f" -> {result['speedup_vs_object']:.1f}x vs object"
                 )
             progress(line)
     obs_overhead = measure_obs_overhead(

@@ -50,12 +50,12 @@ from repro.crypto.wrap import (
     wrap_mode,
 )
 from repro.obs import metrics as obs_metrics
-from repro.keytree.lkh import LkhRekeyer
 from repro.keytree.serialize import (
+    make_kernel_rekeyer,
+    make_kernel_tree,
     tree_with_stream_from_dict,
     tree_with_stream_to_dict,
 )
-from repro.keytree.tree import KeyTree
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -101,6 +101,9 @@ class ShardSpec:
     degree: int
     #: :meth:`KeyGenerator.state` of the shard's private key stream.
     stream: dict
+    #: Tree kernel (``"object"`` or ``"flat"``); execution-only — both
+    #: kernels emit byte-identical payloads for the same stream/ops.
+    kernel: str = "object"
 
 
 @dataclass(frozen=True)
@@ -132,9 +135,12 @@ class _ShardState:
 
     def __init__(self, spec: ShardSpec) -> None:
         self.shard = spec.shard
+        self.kernel = getattr(spec, "kernel", "object")
         self.keygen = KeyGenerator.from_state(spec.stream)
-        self.tree = KeyTree(degree=spec.degree, keygen=self.keygen, name=spec.name)
-        self.rekeyer = LkhRekeyer(self.tree)
+        self.tree = make_kernel_tree(
+            self.kernel, degree=spec.degree, keygen=self.keygen, name=spec.name
+        )
+        self.rekeyer = make_kernel_rekeyer(self.tree)
 
     def apply(self, batch: ShardBatch, payload: str) -> ShardFragment:
         start = time.perf_counter()
@@ -159,9 +165,9 @@ class _ShardState:
         return tree_with_stream_to_dict(self.tree, epoch=self.rekeyer._next_epoch)
 
     def load(self, data: dict) -> None:
-        self.tree, epoch = tree_with_stream_from_dict(data)
+        self.tree, epoch = tree_with_stream_from_dict(data, kernel=self.kernel)
         self.keygen = self.tree.keygen
-        self.rekeyer = LkhRekeyer(self.tree)
+        self.rekeyer = make_kernel_rekeyer(self.tree)
         self.rekeyer._next_epoch = epoch
 
 
@@ -213,7 +219,7 @@ class SerialShardExecutor:
             shard: state.tree.root.key for shard, state in self._states.items()
         }
 
-    def local_trees(self) -> Dict[int, KeyTree]:
+    def local_trees(self) -> Dict[int, object]:
         """The live shard trees (for structural checks / validation)."""
         return {shard: state.tree for shard, state in self._states.items()}
 
@@ -443,7 +449,7 @@ class ProcessShardExecutor:
             roots.update(reply)
         return roots
 
-    def local_trees(self) -> Dict[int, KeyTree]:
+    def local_trees(self) -> Dict[int, object]:
         """Parent-side reconstructions of the worker trees (test paths)."""
         return {
             shard: tree_with_stream_from_dict(data)[0]

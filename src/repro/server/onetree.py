@@ -5,8 +5,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.crypto.material import KeyGenerator, KeyMaterial
-from repro.keytree.lkh import LkhRekeyer
-from repro.keytree.tree import KeyTree
+from repro.keytree.serialize import (
+    TREE_KERNELS,
+    make_kernel_rekeyer,
+    make_kernel_tree,
+)
 from repro.server.base import BatchResult, GroupKeyServer, Registration
 
 
@@ -14,7 +17,10 @@ class OneTreeServer(GroupKeyServer):
     """One LKH tree; the group key is the tree's root key.
 
     This is "the previous one-keytree scheme" every optimization in the
-    paper is measured against.
+    paper is measured against.  ``tree_kernel`` selects the in-memory
+    tree representation: ``"object"`` (node objects, the reference) or
+    ``"flat"`` (index arrays; byte-identical payloads, much faster at
+    large N — see ``docs/performance.md``).
     """
 
     name = "one-keytree"
@@ -25,13 +31,19 @@ class OneTreeServer(GroupKeyServer):
         keygen: Optional[KeyGenerator] = None,
         group: str = "group",
         join_refresh: str = "random",
+        tree_kernel: str = "object",
     ) -> None:
         if join_refresh not in ("random", "owf"):
             raise ValueError("join_refresh must be 'random' or 'owf'")
+        if tree_kernel not in TREE_KERNELS:
+            raise ValueError(f"tree_kernel must be one of {TREE_KERNELS}")
         super().__init__(keygen=keygen, group=group)
         self.join_refresh = join_refresh
-        self.tree = KeyTree(degree=degree, keygen=self.keygen, name=f"{group}/tree")
-        self.rekeyer = LkhRekeyer(self.tree)
+        self.tree_kernel = tree_kernel
+        self.tree = make_kernel_tree(
+            tree_kernel, degree=degree, keygen=self.keygen, name=f"{group}/tree"
+        )
+        self.rekeyer = make_kernel_rekeyer(self.tree)
 
     def _process_batch(
         self,

@@ -17,7 +17,13 @@ from typing import Dict
 from repro.crypto.material import KeyGenerator, KeyMaterial
 from repro.keytree.lkh import LkhRekeyer
 from repro.keytree.queuepartition import QueuePartition
-from repro.keytree.serialize import tree_from_dict, tree_to_dict
+from repro.keytree.serialize import (
+    kernel_tree_from_dict,
+    kernel_tree_to_dict,
+    make_kernel_rekeyer,
+    tree_from_dict,
+    tree_to_dict,
+)
 from repro.server.base import GroupKeyServer, Registration
 from repro.server.losshomog import LossHomogenizedServer
 from repro.server.onetree import OneTreeServer
@@ -102,7 +108,9 @@ def snapshot_server(server: GroupKeyServer) -> Dict:
     if isinstance(server, OneTreeServer):
         state["kind"] = "one-keytree"
         state["degree"] = server.tree.degree
-        state["tree"] = tree_to_dict(server.tree)
+        state["tree_kernel"] = server.tree_kernel
+        state["join_refresh"] = server.join_refresh
+        state["tree"] = kernel_tree_to_dict(server.tree)
         state["tree_epoch"] = server.rekeyer._next_epoch
     elif isinstance(server, TwoPartitionServer):
         state["kind"] = "two-partition"
@@ -144,6 +152,7 @@ def snapshot_server(server: GroupKeyServer) -> Dict:
         state["degree"] = server.sharded.degree
         state["join_refresh"] = server.join_refresh
         state["payload"] = server.payload
+        state["tree_kernel"] = server.tree_kernel
         state["dek_stream"] = server._dek_stream.state()
         if server._dek is not None:
             state["dek"] = _key_to_dict(server._dek)
@@ -172,10 +181,20 @@ def restore_server(state: Dict) -> GroupKeyServer:
 
     server: GroupKeyServer
     if kind == "one-keytree":
-        server = OneTreeServer(degree=int(state["degree"]), group=group)
+        # Older snapshots predate the kernel/join_refresh fields; they
+        # were all object-kernel, random-refresh servers.
+        kernel = state.get("tree_kernel", "object")
+        server = OneTreeServer(
+            degree=int(state["degree"]),
+            group=group,
+            join_refresh=state.get("join_refresh", "random"),
+            tree_kernel=kernel,
+        )
         server.keygen = keygen
-        server.tree = tree_from_dict(state["tree"], keygen=keygen)
-        server.rekeyer = LkhRekeyer(server.tree)
+        server.tree = kernel_tree_from_dict(
+            state["tree"], kernel=kernel, keygen=keygen
+        )
+        server.rekeyer = make_kernel_rekeyer(server.tree)
         server.rekeyer._next_epoch = int(state["tree_epoch"])
     elif kind == "two-partition":
         server = TwoPartitionServer(
@@ -229,6 +248,7 @@ def restore_server(state: Dict) -> GroupKeyServer:
             group=group,
             join_refresh=state["join_refresh"],
             payload=state["payload"],
+            tree_kernel=state.get("tree_kernel", "object"),
         )
         server.keygen = keygen
         server._dek_stream = KeyGenerator.from_state(state["dek_stream"])

@@ -33,6 +33,8 @@ SNAPSHOT_SCHEMES = [
     "qt",
     "tt",
     "loss-homogenized",
+    "one-keytree-flat",
+    "sharded-flat",
 ]
 
 
@@ -102,6 +104,56 @@ def test_live_and_restored_emit_identical_batches(name):
         for ek in twin_result.encrypted_keys
     }
     assert twin_wire == live_wire
+
+
+#: (scheme, kernel to restore into) — dumps are kernel-neutral, so a
+#: snapshot taken with one kernel must restore into the other and keep
+#: emitting byte-identical payloads from the next rekey onward.
+CROSS_KERNEL = [
+    ("one-keytree", "flat"),
+    ("one-keytree-flat", "object"),
+    ("sharded", "flat"),
+    ("sharded-flat", "object"),
+]
+
+
+def _wire(result):
+    return [
+        (
+            ek.wrapping_id,
+            ek.wrapping_version,
+            ek.payload_id,
+            ek.payload_version,
+            ek.ciphertext,
+        )
+        for ek in result.encrypted_keys
+    ]
+
+
+@pytest.mark.parametrize("name,other_kernel", CROSS_KERNEL)
+def test_cross_kernel_restore_emits_identical_payloads(name, other_kernel):
+    spec = SCHEME_FACTORIES[name]
+    live = run_prefix(spec)
+    state = json.loads(json.dumps(snapshot_server(live.server)))
+    assert state["tree_kernel"] != other_kernel
+    state["tree_kernel"] = other_kernel
+    twin = restore_server(state)
+
+    # Continue churning both servers in lock step: every subsequent batch
+    # must match byte for byte (order and ciphertexts included).
+    for step in range(4):
+        now = 1000.0 + 10.0 * step
+        for server in (live.server, twin):
+            server.join(f"x{step}", at_time=now)
+            if step == 1:
+                server.leave("c", at_time=now)
+        live_result = live.server.rekey(now=now)
+        twin_result = twin.rekey(now=now)
+        assert twin_result.epoch == live_result.epoch
+        assert _wire(twin_result) == _wire(live_result)
+    assert twin.group_key().secret == live.server.group_key().secret
+    if hasattr(twin, "close"):
+        twin.close()
 
 
 def test_snapshot_round_trip_preserves_resync():

@@ -1,0 +1,369 @@
+"""The differential-equivalence battery gating the flat-array kernel.
+
+The flat kernel (:mod:`repro.keytree.flat`) rewrites the hottest
+correctness-critical path in the repository, so it is admitted only on
+proof of *byte identity*: driven through identical churn traces, object
+and flat kernels must emit identical :class:`RekeyMessage` payloads —
+same wrap order, same versions, same ciphertext bytes — plus equal
+:class:`WrapIndex` closures and equal per-receiver decrypt behavior.
+
+Traces come from two sources: hypothesis-generated operation programs
+(shrinkable counterexamples) and pinned-seed random mixes (stable
+regression anchors).  Both run under eager and deferred wrapping, and
+the sharded variant is checked across all three executor backends.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.material import KeyGenerator
+from repro.crypto.wrap import WrapIndex, deferred_wraps
+from repro.keytree.flat import FlatKeyTree, FlatRekeyer
+from repro.keytree.lkh import LkhRekeyer
+from repro.keytree.serialize import tree_to_dict
+from repro.keytree.tree import KeyTree
+from repro.members.member import Member
+from repro.server.sharded import ShardedOneTreeServer
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def wire(message):
+    """A rekey message reduced to its observable bytes, ciphertexts included."""
+    return (
+        message.group,
+        message.epoch,
+        tuple(message.updated),
+        tuple(message.advanced),
+        tuple(message.joined),
+        tuple(message.departed),
+        tuple(
+            (
+                ek.wrapping_id,
+                ek.wrapping_version,
+                ek.payload_id,
+                ek.payload_version,
+                ek.ciphertext,
+            )
+            for ek in message.encrypted_keys
+        ),
+    )
+
+
+def assert_identical(obj_msg, flat_msg, context=""):
+    a, b = wire(obj_msg), wire(flat_msg)
+    assert a == b, f"kernel divergence {context}: {a[:2]} vs {b[:2]}"
+
+
+class KernelPair:
+    """Object and flat rekeyers fed the same operations in lock step."""
+
+    def __init__(self, degree, seed, join_refresh="random"):
+        self.join_refresh = join_refresh
+        self.obj_tree = KeyTree(
+            degree=degree, keygen=KeyGenerator(seed), name="g/tree"
+        )
+        self.obj = LkhRekeyer(self.obj_tree)
+        self.flat_tree = FlatKeyTree(
+            degree=degree, keygen=KeyGenerator(seed), name="g/tree"
+        )
+        self.flat = FlatRekeyer(self.flat_tree)
+
+    def batch(self, joins=(), departures=(), force_root=False, context=""):
+        obj_msg = self.obj.rekey_batch(
+            joins=joins,
+            departures=departures,
+            force_root=force_root,
+            join_refresh=self.join_refresh,
+        )
+        flat_msg = self.flat.rekey_batch(
+            joins=joins,
+            departures=departures,
+            force_root=force_root,
+            join_refresh=self.join_refresh,
+        )
+        assert_identical(obj_msg, flat_msg, context)
+        return obj_msg, flat_msg
+
+    def check_state(self, context=""):
+        assert self.obj_tree._seq_value == self.flat_tree._seq_value, context
+        assert (
+            self.obj_tree.keygen._counter == self.flat_tree.keygen._counter
+        ), context
+        self.flat_tree.validate()
+        assert tree_to_dict(self.obj_tree) == self.flat_tree.to_dict(), context
+
+
+# A churn program: each element is one batch as (joins, departures,
+# force_root) where joins counts fresh members and departures indexes
+# into the surviving population.
+programs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=3),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def run_program(pair, program):
+    present = []
+    counter = 0
+    for step, (njoin, ndep, force_root) in enumerate(program):
+        # Departures come from the pre-batch population; a member cannot
+        # join and depart in the same batch.
+        departures = []
+        if pair.join_refresh != "owf":
+            for _ in range(min(ndep, len(present))):
+                departures.append(present.pop(0))
+        joins = []
+        for _ in range(njoin):
+            counter += 1
+            joins.append((f"m{counter}", None))
+            present.append(f"m{counter}")
+        if not joins and not departures and not force_root:
+            continue
+        pair.batch(joins, departures, force_root, context=f"step {step}")
+    pair.check_state("final state")
+    return present
+
+
+# ----------------------------------------------------------------------
+# hypothesis-driven traces
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    program=programs,
+    degree=st.integers(min_value=2, max_value=5),
+    deferred=st.booleans(),
+)
+def test_hypothesis_churn_traces_are_byte_identical(program, degree, deferred):
+    with deferred_wraps(enabled=deferred):
+        pair = KernelPair(degree=degree, seed=11)
+        run_program(pair, program)
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=programs, deferred=st.booleans())
+def test_owf_refresh_traces_are_byte_identical(program, deferred):
+    with deferred_wraps(enabled=deferred):
+        pair = KernelPair(degree=3, seed=5, join_refresh="owf")
+        run_program(pair, program)
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=programs)
+def test_wrap_index_closures_are_equal(program):
+    """Every surviving member resolves the same closure from either payload."""
+    with deferred_wraps():
+        pair = KernelPair(degree=3, seed=23)
+        present = []
+        counter = 0
+        for njoin, ndep, force_root in program:
+            departures = [
+                present.pop(0) for _ in range(min(ndep, len(present)))
+            ]
+            joins = []
+            for _ in range(njoin):
+                counter += 1
+                joins.append((f"m{counter}", None))
+                present.append(f"m{counter}")
+            if not joins and not departures and not force_root:
+                continue
+            held = {
+                member: {
+                    v.key.key_id: v.key.version
+                    for v in pair.obj_tree.path_of(member)
+                }
+                for member in present[: len(present) // 2 + 1]
+                if member in pair.obj_tree._member_leaf
+            }
+            obj_msg, flat_msg = pair.batch(joins, departures, force_root)
+            obj_index = WrapIndex(obj_msg.encrypted_keys)
+            flat_index = WrapIndex(flat_msg.encrypted_keys)
+            for member, versions in held.items():
+                obj_closure = [
+                    (pos, ek.wrapping_id, ek.payload_id, ek.payload_version)
+                    for pos, ek in obj_index.closure(versions)
+                ]
+                flat_closure = [
+                    (pos, ek.wrapping_id, ek.payload_id, ek.payload_version)
+                    for pos, ek in flat_index.closure(versions)
+                ]
+                assert obj_closure == flat_closure, member
+
+
+# ----------------------------------------------------------------------
+# pinned-seed mixes (stable regression anchor, no shrinking needed)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("deferred", [False, True])
+def test_pinned_seed_mixed_traces(seed, deferred):
+    rng = random.Random(seed)
+    with deferred_wraps(enabled=deferred):
+        pair = KernelPair(degree=rng.choice((2, 3, 4)), seed=seed)
+        present = []
+        counter = 0
+        for step in range(40):
+            op = rng.random()
+            context = f"seed={seed} step={step}"
+            if op < 0.3 or not present:
+                counter += 1
+                member = f"m{counter}"
+                obj_msg = pair.obj.join(member)[1]
+                flat_msg = pair.flat.join(member)[1]
+                assert_identical(obj_msg, flat_msg, context)
+                present.append(member)
+            elif op < 0.45:
+                victim = present.pop(rng.randrange(len(present)))
+                assert_identical(
+                    pair.obj.leave(victim), pair.flat.leave(victim), context
+                )
+            elif op < 0.9:
+                njoin = rng.randrange(0, 5)
+                ndep = rng.randrange(0, min(3, len(present)) + 1)
+                departures = [
+                    present.pop(rng.randrange(len(present)))
+                    for _ in range(min(ndep, len(present)))
+                ]
+                joins = []
+                for _ in range(njoin):
+                    counter += 1
+                    joins.append((f"m{counter}", None))
+                    present.append(f"m{counter}")
+                pair.batch(
+                    joins,
+                    departures,
+                    force_root=rng.random() < 0.2,
+                    context=context,
+                )
+            else:
+                assert_identical(
+                    pair.obj.refresh_root(),
+                    pair.flat.refresh_root(),
+                    context,
+                )
+            pair.check_state(context)
+
+
+def test_per_receiver_decrypt_counts_match():
+    """Receivers fed either kernel's payload learn the same keys, in the
+    same quantity, every epoch."""
+    with deferred_wraps():
+        pair = KernelPair(degree=3, seed=42)
+        rng = random.Random(42)
+        obj_members = {}
+        flat_members = {}
+        present = []
+        counter = 0
+        for _ in range(8):
+            joins = []
+            for _ in range(rng.randrange(1, 5)):
+                counter += 1
+                member_id = f"m{counter}"
+                joins.append((member_id, None))
+                present.append(member_id)
+            departures = []
+            if len(present) > 4:
+                for _ in range(rng.randrange(0, 2)):
+                    victim = present.pop(rng.randrange(len(present)))
+                    departures.append(victim)
+                    obj_members.pop(victim, None)
+                    flat_members.pop(victim, None)
+            obj_msg, flat_msg = pair.batch(joins, departures)
+            for member_id, _ in joins:
+                leaf = pair.obj_tree._member_leaf[member_id]
+                individual = leaf.key
+                obj_members[member_id] = Member(member_id, individual)
+                flat_members[member_id] = Member(member_id, individual)
+            obj_index = WrapIndex(obj_msg.encrypted_keys)
+            flat_index = WrapIndex(flat_msg.encrypted_keys)
+            for member_id in present:
+                learned_obj = obj_members[member_id].absorb(
+                    obj_msg.encrypted_keys, index=obj_index
+                )
+                learned_flat = flat_members[member_id].absorb(
+                    flat_msg.encrypted_keys, index=flat_index
+                )
+                assert len(learned_obj) == len(learned_flat), member_id
+                assert [
+                    (k.key_id, k.version, k.secret) for k in learned_obj
+                ] == [
+                    (k.key_id, k.version, k.secret) for k in learned_flat
+                ], member_id
+        # Everyone ends on the same (identical) group key.
+        obj_dek = pair.obj_tree.root.key
+        flat_dek = pair.flat_tree.root.key
+        assert obj_dek.secret == flat_dek.secret
+        for member_id in present:
+            assert obj_members[member_id].holds(obj_dek.key_id, obj_dek.version)
+            assert flat_members[member_id].holds(
+                flat_dek.key_id, flat_dek.version
+            )
+
+
+# ----------------------------------------------------------------------
+# sharded server: kernels x executor backends
+# ----------------------------------------------------------------------
+
+
+def _server_wires(server, rounds=4, churn=3):
+    out = []
+    present = []
+    counter = 0
+    for round_no in range(rounds):
+        for _ in range(4):
+            counter += 1
+            member = f"m{counter}"
+            server.join(member)
+            present.append(member)
+        if round_no:
+            for _ in range(churn):
+                server.leave(present.pop(0))
+        out.append(wire_result(server.rekey()))
+    return out
+
+
+def wire_result(result):
+    return tuple(
+        (
+            ek.wrapping_id,
+            ek.wrapping_version,
+            ek.payload_id,
+            ek.payload_version,
+            ek.ciphertext,
+        )
+        for ek in result.encrypted_keys
+    )
+
+
+@pytest.mark.parametrize(
+    "backend,workers", [("serial", 1), ("thread", 2), ("process", 2)]
+)
+def test_sharded_flat_kernel_matches_object_across_backends(backend, workers):
+    with deferred_wraps():
+        obj_server = ShardedOneTreeServer(shards=4, degree=3, group="kx")
+        flat_server = ShardedOneTreeServer(
+            shards=4,
+            degree=3,
+            group="kx",
+            backend=backend,
+            workers=workers,
+            tree_kernel="flat",
+        )
+        try:
+            assert _server_wires(obj_server) == _server_wires(flat_server)
+        finally:
+            obj_server.close()
+            flat_server.close()

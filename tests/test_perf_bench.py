@@ -30,6 +30,10 @@ TINY_COST = BenchScenario(
 TINY_CRYPTO = BenchScenario(
     "tiny-crypto", 48, FULL_CRYPTO, rounds=2, churn=4, sample_receivers=0,
 )
+TINY_FLAT = BenchScenario(
+    "tiny-flat", 64, COST_ONLY, rounds=2, churn=4, sample_receivers=16,
+    kernel="flat",
+)
 
 
 class TestBenchHarness:
@@ -80,6 +84,25 @@ class TestBenchHarness:
         # The acceptance scenario must diff against the baseline path.
         hundred_k = next(s for s in standard if s.members == 100_000)
         assert hundred_k.compare_baseline
+        # Both matrices exercise the flat kernel, including at 100k+ and
+        # through the sharded server.
+        flat_standard = [s for s in standard if s.kernel == "flat"]
+        assert any(s.members >= 100_000 for s in flat_standard)
+        assert any(s.server == "sharded" for s in flat_standard)
+        assert any(s.kernel == "flat" for s in quick)
+
+    def test_flat_kernel_scenario_records_object_reference(self):
+        result = run_scenario(TINY_FLAT)
+        assert result["kernel"] == "flat"
+        assert result["object_ref"] is not None
+        assert result["speedup_vs_object"] is not None
+        # The kernels must price identically — the flat kernel is an
+        # execution optimization, never a payload change.
+        assert result["mean_batch_cost_matches_object"] is True
+        assert (
+            result["optimized"]["mean_batch_cost"]
+            == result["object_ref"]["mean_batch_cost"]
+        )
 
 
 class TestOpCountBudget:
