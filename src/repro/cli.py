@@ -289,7 +289,20 @@ def _record_bench_session(report: dict, out: str) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import run_bench
+    from repro.perf.bench import profile_scenario, run_bench
+
+    if args.profile:
+        try:
+            out_path = profile_scenario(args.profile, quick=args.quick)
+        except KeyError as exc:
+            print(f"ERROR: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(f"wrote {out_path}")
+        from pathlib import Path
+
+        for line in Path(out_path).read_text().splitlines()[:12]:
+            print(line)
+        return 0
 
     with _observed(args):
         report = run_bench(
@@ -297,6 +310,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
             progress=print,
             workers=args.workers,
+            record_env=args.record_env,
         )
     print(f"wrote {args.out}")
     _record_bench_session(report, args.out)
@@ -333,6 +347,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    bulk_mismatched = [
+        cell["name"]
+        for cell in report["scenarios"]
+        if cell.get("mean_batch_cost_matches_flat") is False
+    ]
+    if bulk_mismatched:
+        print(
+            "ERROR: bulk crypto engine changed mean_batch_cost in: "
+            + ", ".join(bulk_mismatched),
+            file=sys.stderr,
+        )
+        return 1
+    # Bulk speedup floor: at >= 100k members the vectorized engine must
+    # beat the object kernel by 3x on cost-only cells — but only where
+    # there are cores to run on; a starved host gets a note, not a fail.
+    bulk_cells = [
+        (cell["name"], cell["speedup_vs_object"])
+        for cell in report["scenarios"]
+        if cell.get("bulk")
+        and cell["mode"] == "cost-only"
+        and cell["members"] >= 100_000
+        and cell.get("speedup_vs_object") is not None
+    ]
+    if bulk_cells and report["cpus"] < 2:
+        print(
+            f"note: single-CPU host (cpus={report['cpus']}); "
+            "bulk speedup floor not enforced"
+        )
+    elif bulk_cells:
+        slow = [(name, s) for name, s in bulk_cells if s < 3.0]
+        if slow:
+            print(
+                f"ERROR: bulk cost-only speedup below the 3.0x floor vs "
+                f"the object kernel on a {report['cpus']}-CPU host: {slow}",
+                file=sys.stderr,
+            )
+            return 1
     # The parallel-speedup floor is cpu-aware: on a single usable core a
     # process pool cannot beat serial, so only the determinism gates above
     # are meaningful there (BENCH_hotpath.json was once recorded on a
@@ -671,6 +722,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="run whole scenarios over a process pool of N workers",
+    )
+    p.add_argument(
+        "--profile",
+        metavar="SCENARIO",
+        help="run one named scenario under cProfile and write the top-25 "
+        "cumulative-time table to benchmarks/out/profile_<name>.txt "
+        "(skips the rest of the matrix)",
+    )
+    p.add_argument(
+        "--record-env",
+        action="store_true",
+        help="embed a recording-environment snapshot (usable CPUs, load, "
+        "interpreter/numpy versions) in the report; use when committing "
+        "the output as a baseline",
     )
     add_obs_flags(p, "bench")
     p.set_defaults(func=_cmd_bench)

@@ -24,6 +24,13 @@ Public API
                             cost-only mode: postpone wrap ciphertexts
 """
 
+from repro.crypto.bulk import (
+    PackedWraps,
+    bulk_enabled,
+    derive_secret_list,
+    derive_secrets,
+    encrypt_wrap_rows,
+)
 from repro.crypto.cipher import AuthenticationError, decrypt, encrypt
 from repro.crypto.material import KeyGenerator, KeyMaterial
 from repro.crypto.wrap import (
@@ -44,11 +51,16 @@ __all__ = [
     "KeyGenerator",
     "KeyMaterial",
     "LazyEncryptedKey",
+    "PackedWraps",
     "PlannedEncryptedKey",
     "WrapIndex",
+    "bulk_enabled",
     "decrypt",
     "deferred_wraps",
+    "derive_secret_list",
+    "derive_secrets",
     "encrypt",
+    "encrypt_wrap_rows",
     "set_wrap_mode",
     "unwrap_key",
     "wrap_key",

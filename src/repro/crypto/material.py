@@ -46,6 +46,21 @@ class KeyMaterial:
         if self.version < 0:
             raise ValueError("version must be non-negative")
 
+    @classmethod
+    def _trusted(cls, key_id: str, version: int, secret: bytes) -> "KeyMaterial":
+        """Construct without validation, for internally generated keys.
+
+        :class:`KeyGenerator` output always satisfies the ``__post_init__``
+        checks (fresh SHA-256 digests at non-negative versions), and key
+        construction sits on the batch-rekeying hot path — one marked node,
+        one new ``KeyMaterial``.  Bypassing the frozen-dataclass ``__init__``
+        roughly halves construction cost.  Anything carrying external bytes
+        (unwrap, deserialization) must keep using the validating constructor.
+        """
+        material = object.__new__(cls)
+        material.__dict__.update(key_id=key_id, version=version, secret=secret)
+        return material
+
     @property
     def handle(self) -> tuple:
         """Hashable ``(key_id, version)`` pair naming this exact key."""
@@ -136,7 +151,9 @@ class KeyGenerator:
 
     def generate(self, key_id: str, version: int = 0) -> KeyMaterial:
         """Create fresh key material for ``key_id`` at ``version``."""
-        return KeyMaterial(key_id=key_id, version=version, secret=self.fresh_secret())
+        if version < 0:
+            raise ValueError("version must be non-negative")
+        return KeyMaterial._trusted(key_id, version, self.fresh_secret())
 
     def rekey(self, old: KeyMaterial) -> KeyMaterial:
         """Create a fresh replacement for ``old`` with the version bumped.
@@ -144,6 +161,4 @@ class KeyGenerator:
         The new secret is unrelated to the old one (fresh randomness), which
         is what forward confidentiality requires.
         """
-        return KeyMaterial(
-            key_id=old.key_id, version=old.version + 1, secret=self.fresh_secret()
-        )
+        return KeyMaterial._trusted(old.key_id, old.version + 1, self.fresh_secret())

@@ -53,6 +53,7 @@ import heapq
 import hmac
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.crypto.bulk import PackedWraps, bulk_enabled, derive_secret_list
 from repro.crypto.cipher import encrypt
 from repro.crypto.material import KEY_SIZE, KeyGenerator, KeyMaterial
 from repro.crypto.wrap import EncryptedKey, LazyEncryptedKey, wrap_mode
@@ -894,10 +895,14 @@ class FlatRekeyer:
     """
 
     def __init__(
-        self, tree: FlatKeyTree, keygen: Optional[KeyGenerator] = None
+        self,
+        tree: FlatKeyTree,
+        keygen: Optional[KeyGenerator] = None,
+        bulk: Optional[bool] = None,
     ) -> None:
         self.tree = tree
         self.keygen = keygen if keygen is not None else tree.keygen
+        self.bulk = bulk_enabled(bulk)
         self._next_epoch = 1
 
     def _take_epoch(self) -> int:
@@ -1022,7 +1027,6 @@ class FlatRekeyer:
         ids = tree._ids
         parents = tree._parent
         index = tree._index
-        add_slot = tree._add_member_slot
         # node_id -> slot at marking time; insertion order is the marking
         # order the refresh sort must preserve.  Liveness is re-checked
         # after all removals via the id index (a spliced-out node's id is
@@ -1040,11 +1044,10 @@ class FlatRekeyer:
 
             joined = message.joined
             # Fused bulk-join fast path: _add_member_slot + _alloc +
-            # _attach_leaf inlined for the common case (fresh slot, no
-            # provided key, an open internal target).  Per-join Python
-            # call overhead is the dominant build cost at N=1M; the rare
-            # cases (freelist reuse after departures, caller-provided
-            # keys, splits) fall back to the generic methods with the
+            # _attach_leaf inlined — fresh slots, caller-provided keys
+            # (servers pass every joiner's individual key, so this is the
+            # hot case) and freelist reuse are all handled in-loop; only
+            # leaf splits fall back to the generic methods with the
             # seq/keygen counters synced around the call, so every draw
             # lands in the same order as the object kernel's.
             free = tree._free
@@ -1072,72 +1075,90 @@ class FlatRekeyer:
             if joins:
                 tree._leafcnt_fresh = False
             for member_id, key in joins:
-                if key is not None or free:
-                    tree._seq_value = seq
-                    keygen._counter = kg_counter
-                    leaf = add_slot(member_id, key, count=False)
-                    seq = tree._seq_value
-                    kg_counter = keygen._counter
-                else:
-                    if member_id in member_leaf:
-                        raise ValueError(
-                            f"member {member_id!r} already in tree {tree.name!r}"
-                        )
-                    leaf_id = f"member:{member_id}"
+                if member_id in member_leaf:
+                    raise ValueError(
+                        f"member {member_id!r} already in tree {tree.name!r}"
+                    )
+                leaf_id = f"member:{member_id}"
+                if key is None:
+                    version = 0
                     kg_counter += 1
                     secret = sha256(
                         kg_root + kg_counter.to_bytes(8, "big")
                     ).digest()
+                else:
+                    if key.key_id != leaf_id:
+                        raise ValueError(
+                            f"flat kernel requires individual key id "
+                            f"{leaf_id!r}, got {key.key_id!r}"
+                        )
+                    version = key.version
+                    secret = key.secret
+                if free:
+                    # Inlined _alloc freelist branch: the slot's generation
+                    # was bumped at _free_slot time, so stale heap entries
+                    # for it are already dead; reuse makes no draws.
+                    leaf = free.pop()
+                    parents[leaf] = NIL
+                    nchild[leaf] = 0
+                    ids[leaf] = leaf_id
+                    member[leaf] = member_id
+                    versions[leaf] = version
+                    leafcnt[leaf] = 1
+                    depthv[leaf] = 0
+                    base = leaf * KEY_SIZE
+                    secrets[base : base + KEY_SIZE] = secret
+                else:
                     leaf = len(ids)
                     parents.append(NIL)
                     child.extend(nil_row)
                     nchild.append(0)
                     ids.append(leaf_id)
                     member.append(member_id)
-                    versions.append(0)
+                    versions.append(version)
                     secrets.extend(secret)
                     leafcnt.append(1)
                     depthv.append(0)
                     gens.append(0)
-                    index[leaf_id] = leaf
-                    attached = False
-                    while open_heap:
-                        depth, __, tidx, gen = open_heap[0]
-                        if (
-                            gens[tidx] != gen
-                            or member[tidx] is not None
-                            or nchild[tidx] >= degree
-                        ):
-                            heappop(open_heap)
-                            continue
-                        actual = depthv[tidx]
-                        if actual != depth:
-                            heapreplace(open_heap, (actual, seq, tidx, gen))
-                            seq += 1
-                            continue
+                index[leaf_id] = leaf
+                attached = False
+                while open_heap:
+                    depth, __, tidx, gen = open_heap[0]
+                    if (
+                        gens[tidx] != gen
+                        or member[tidx] is not None
+                        or nchild[tidx] >= degree
+                    ):
                         heappop(open_heap)
-                        nc = nchild[tidx]
-                        child[tidx * degree + nc] = leaf
-                        nchild[tidx] = nc + 1
-                        parents[leaf] = tidx
-                        depthv[leaf] = depth + 1
-                        if nc + 1 < degree:
-                            heappush(open_heap, (depth, seq, tidx, gens[tidx]))
-                            seq += 1
-                        heappush(split_heap, (depth + 1, seq, leaf, gens[leaf]))
+                        continue
+                    actual = depthv[tidx]
+                    if actual != depth:
+                        heapreplace(open_heap, (actual, seq, tidx, gen))
                         seq += 1
-                        attached = True
-                        break
-                    if not attached:
-                        tree._seq_value = seq
-                        keygen._counter = kg_counter
-                        victim = tree._pop_split_candidate()
-                        if victim is None:
-                            raise RuntimeError("key tree has no attachment point")
-                        tree._split_leaf(victim[0], leaf, victim[1])
-                        seq = tree._seq_value
-                        kg_counter = keygen._counter
-                    member_leaf[member_id] = leaf
+                        continue
+                    heappop(open_heap)
+                    nc = nchild[tidx]
+                    child[tidx * degree + nc] = leaf
+                    nchild[tidx] = nc + 1
+                    parents[leaf] = tidx
+                    depthv[leaf] = depth + 1
+                    if nc + 1 < degree:
+                        heappush(open_heap, (depth, seq, tidx, gens[tidx]))
+                        seq += 1
+                    heappush(split_heap, (depth + 1, seq, leaf, gens[leaf]))
+                    seq += 1
+                    attached = True
+                    break
+                if not attached:
+                    tree._seq_value = seq
+                    keygen._counter = kg_counter
+                    victim = tree._pop_split_candidate()
+                    if victim is None:
+                        raise RuntimeError("key tree has no attachment point")
+                    tree._split_leaf(victim[0], leaf, victim[1])
+                    seq = tree._seq_value
+                    kg_counter = keygen._counter
+                member_leaf[member_id] = leaf
                 node = parents[leaf]
                 while node != NIL:
                     node_id = ids[node]
@@ -1274,6 +1295,9 @@ class FlatRekeyer:
         pairs = list(dict.fromkeys(marked))
         depths = tree._depthv
         pairs.sort(key=lambda pair: depths[pair[1]], reverse=True)
+        if self.bulk and pairs:
+            self._refresh_and_wrap_bulk(pairs, message)
+            return
 
         versions = tree._versions
         secrets = tree._secrets
@@ -1356,6 +1380,80 @@ class FlatRekeyer:
                         )
             wrap_span.set("wraps", len(eks))
             wraps = len(eks) - wraps_before
+        if wraps:
+            perf_count("crypto.wraps", wraps)
+
+    def _refresh_and_wrap_bulk(
+        self, pairs: List[Tuple[str, int]], message: RekeyMessage
+    ) -> None:
+        """Bulk fast path: vectorized derivation + one packed wrap plan.
+
+        Same draws as :meth:`_refresh_and_wrap` — ``len(pairs)`` keygen
+        counter advances in refresh order, no seq draws — and the wrap
+        plan is built in the identical nested loop order, so the packed
+        payload's rows are byte-for-byte the eager kernel's wraps.  In
+        deferred mode no ciphertext exists until something reads one, at
+        which point the whole pack encrypts in a single batched pass.
+        """
+        tree = self.tree
+        versions = tree._versions
+        secrets = tree._secrets
+        updated = message.updated
+        keygen = self.keygen
+        fresh: Dict[int, bytes] = {}
+        with obs_tracing.span("generate", refreshed=len(pairs)):
+            new_secrets = derive_secret_list(
+                keygen._root, keygen._counter, len(pairs)
+            )
+            keygen._counter += len(pairs)
+            for (node_id, idx), secret in zip(pairs, new_secrets):
+                base = idx * KEY_SIZE
+                secrets[base : base + KEY_SIZE] = secret
+                fresh[idx] = secret
+                version = versions[idx] + 1
+                versions[idx] = version
+                updated.append((node_id, version))
+
+        with obs_tracing.span("wrap") as wrap_span:
+            ids = tree._ids
+            child_slots = tree._child
+            nchild = tree._nchild
+            degree = tree.degree
+            fresh_get = fresh.get
+            w_ids: List[str] = []
+            w_vers: List[int] = []
+            p_ids: List[str] = []
+            p_vers: List[int] = []
+            w_secs: List[bytes] = []
+            p_secs: List[bytes] = []
+            for node_id, idx in pairs:
+                payload_version = versions[idx]
+                payload_secret = fresh[idx]
+                child_base = idx * degree
+                for slot in range(child_base, child_base + nchild[idx]):
+                    child = child_slots[slot]
+                    child_secret = fresh_get(child)
+                    if child_secret is None:
+                        child_key_base = child * KEY_SIZE
+                        child_secret = bytes(
+                            secrets[child_key_base : child_key_base + KEY_SIZE]
+                        )
+                    w_ids.append(ids[child])
+                    w_vers.append(versions[child])
+                    p_ids.append(node_id)
+                    p_vers.append(payload_version)
+                    w_secs.append(child_secret)
+                    p_secs.append(payload_secret)
+            pack = PackedWraps(w_ids, w_vers, p_ids, p_vers, w_secs, p_secs)
+            if wrap_mode() != "deferred":
+                pack.materialize()
+            eks = message.encrypted_keys
+            if eks:
+                eks.extend(pack)
+            else:
+                message.encrypted_keys = pack
+            wrap_span.set("wraps", len(message.encrypted_keys))
+            wraps = len(pack)
         if wraps:
             perf_count("crypto.wraps", wraps)
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.crypto.bulk import bulk_enabled, derive_secret_list
 from repro.crypto.material import KeyGenerator, KeyMaterial
 from repro.crypto.wrap import EncryptedKey, WrapIndex, wrap_key
 from repro.keytree.node import Node
@@ -104,9 +105,15 @@ class LkhRekeyer:
         Fresh-key source; defaults to the tree's own generator.
     """
 
-    def __init__(self, tree: KeyTree, keygen: Optional[KeyGenerator] = None) -> None:
+    def __init__(
+        self,
+        tree: KeyTree,
+        keygen: Optional[KeyGenerator] = None,
+        bulk: Optional[bool] = None,
+    ) -> None:
         self.tree = tree
         self.keygen = keygen if keygen is not None else tree.keygen
+        self.bulk = bulk_enabled(bulk)
         self._next_epoch = 1
 
     def _take_epoch(self) -> int:
@@ -309,9 +316,26 @@ class LkhRekeyer:
             dict.fromkeys(marked), key=lambda n: n.depth, reverse=True
         )
         with obs_tracing.span("generate", refreshed=len(marked_list)):
-            for node in marked_list:
-                node.key = self.keygen.rekey(node.key)
-                message.updated.append(node.key.handle)
+            if self.bulk and marked_list:
+                # Vectorized derivation: all fresh secrets in one pass over
+                # the packed counter range — the same draws, in the same
+                # order, as the per-node rekey() calls below.
+                keygen = self.keygen
+                secrets = derive_secret_list(
+                    keygen._root, keygen._counter, len(marked_list)
+                )
+                keygen._counter += len(marked_list)
+                trusted = KeyMaterial._trusted
+                for node, secret in zip(marked_list, secrets):
+                    old = node.key
+                    node.key = key = trusted(
+                        old.key_id, old.version + 1, secret
+                    )
+                    message.updated.append((key.key_id, key.version))
+            else:
+                for node in marked_list:
+                    node.key = self.keygen.rekey(node.key)
+                    message.updated.append(node.key.handle)
         with obs_tracing.span("wrap") as wrap_span:
             for node in marked_list:
                 for child in node.children:

@@ -159,15 +159,19 @@ def make_kernel_tree(
     raise ValueError(f"unknown tree kernel {kernel!r} (want one of {TREE_KERNELS})")
 
 
-def make_kernel_rekeyer(tree):
-    """The matching rekeyer for a tree of either kernel."""
+def make_kernel_rekeyer(tree, bulk: Optional[bool] = None):
+    """The matching rekeyer for a tree of either kernel.
+
+    ``bulk`` turns on the vectorized derivation / batched-HMAC engine
+    (:mod:`repro.crypto.bulk`); ``None`` defers to ``REPRO_BULK_CRYPTO``.
+    """
     if getattr(tree, "kernel", "object") == "flat":
         from repro.keytree.flat import FlatRekeyer
 
-        return FlatRekeyer(tree)
+        return FlatRekeyer(tree, bulk=bulk)
     from repro.keytree.lkh import LkhRekeyer
 
-    return LkhRekeyer(tree)
+    return LkhRekeyer(tree, bulk=bulk)
 
 
 def kernel_tree_to_dict(tree) -> Dict:

@@ -101,6 +101,7 @@ class ShardedKeyTree:
         workers: int = 1,
         payload: str = PAYLOAD_FULL,
         kernel: str = "object",
+        bulk: Optional[bool] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shard count must be at least 1")
@@ -115,6 +116,7 @@ class ShardedKeyTree:
         self.workers = max(1, int(workers))
         self.payload = payload
         self.kernel = kernel
+        self.bulk = bulk
         keygen = keygen if keygen is not None else KeyGenerator()
         specs = [
             ShardSpec(
@@ -123,6 +125,7 @@ class ShardedKeyTree:
                 degree=degree,
                 stream=keygen.derive_stream(f"shard{shard}").state(),
                 kernel=kernel,
+                bulk=bulk,
             )
             for shard in range(shards)
         ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import platform
 import random
 import sys
@@ -191,6 +192,11 @@ class BenchScenario:
     #: plus whether ``mean_batch_cost`` matched (the kernels must differ
     #: in wall-clock only, never in payload).
     kernel: str = "object"
+    #: Bulk crypto engine (:mod:`repro.crypto.bulk`).  Bulk cells also run
+    #: the same scenario with the engine off and record ``speedup_vs_flat``
+    #: (or vs the object kernel's non-bulk run for object cells), again
+    #: under a cost-match gate — the engine is execution-only.
+    bulk: bool = False
 
 
 def standard_scenarios() -> List[BenchScenario]:
@@ -263,6 +269,21 @@ def standard_scenarios() -> List[BenchScenario]:
             "sharded-s4-flat-cost-100k", 100_000, COST_ONLY, 3, 64, 1_000,
             server="sharded", shards=4, kernel="flat",
         ),
+        # Bulk-engine family — flat kernel plus vectorized derivation and
+        # the batched-HMAC wrap planner; references against both the
+        # object kernel and the non-bulk flat kernel.
+        BenchScenario(
+            "flat-bulk-cost-100k", 100_000, COST_ONLY, 3, 64, 1_000,
+            kernel="flat", bulk=True,
+        ),
+        BenchScenario(
+            "flat-bulk-cost-1m", 1_000_000, COST_ONLY, 2, 64, 500,
+            kernel="flat", bulk=True,
+        ),
+        BenchScenario(
+            "flat-bulk-full-10k", 10_000, FULL_CRYPTO, 3, 32, 0,
+            kernel="flat", bulk=True,
+        ),
     ]
 
 
@@ -287,6 +308,10 @@ def quick_scenarios() -> List[BenchScenario]:
             "sharded-s4-flat-cost-1k", 1_000, COST_ONLY, 3, 16, 500,
             server="sharded", shards=4, kernel="flat",
         ),
+        BenchScenario(
+            "flat-bulk-cost-10k", 10_000, COST_ONLY, 3, 32, 1_000,
+            kernel="flat", bulk=True,
+        ),
     ]
 
 
@@ -303,11 +328,13 @@ def _build_bench_server(scenario: BenchScenario):
             group=scenario.name,
             payload=payload,
             tree_kernel=scenario.kernel,
+            bulk=scenario.bulk,
         )
     return OneTreeServer(
         degree=scenario.degree,
         group=scenario.name,
         tree_kernel=scenario.kernel,
+        bulk=scenario.bulk,
     )
 
 
@@ -510,7 +537,10 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
     speedup_vs_object = None
     cost_matches_object = None
     if scenario.kernel == "flat":
-        reference = replace(scenario, kernel="object")
+        # The object reference always runs without the bulk engine: for
+        # bulk cells ``speedup_vs_object`` is the headline "engine + flat
+        # kernel vs the original object path" number.
+        reference = replace(scenario, kernel="object", bulk=False)
         object_ref = _run_variant(reference, optimized=True)
         gc.collect()
         if optimized["total_s"]:
@@ -519,6 +549,23 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
             )
         cost_matches_object = (
             object_ref["mean_batch_cost"] == optimized["mean_batch_cost"]
+        )
+
+    flat_ref = None
+    speedup_vs_flat = None
+    cost_matches_flat = None
+    if scenario.bulk:
+        # And the same cell with only the bulk engine off isolates what
+        # the engine itself buys on top of this kernel.
+        reference = replace(scenario, bulk=False)
+        flat_ref = _run_variant(reference, optimized=True)
+        gc.collect()
+        if optimized["total_s"]:
+            speedup_vs_flat = round(
+                flat_ref["total_s"] / optimized["total_s"], 2
+            )
+        cost_matches_flat = (
+            flat_ref["mean_batch_cost"] == optimized["mean_batch_cost"]
         )
 
     return {
@@ -533,6 +580,7 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
         "workers": scenario.workers,
         "backend": scenario.backend,
         "kernel": scenario.kernel,
+        "bulk": scenario.bulk,
         "optimized": optimized,
         "baseline": baseline,
         "speedup": speedup,
@@ -542,8 +590,81 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
         "object_ref": object_ref,
         "speedup_vs_object": speedup_vs_object,
         "mean_batch_cost_matches_object": cost_matches_object,
+        "flat_ref": flat_ref,
+        "speedup_vs_flat": speedup_vs_flat,
+        "mean_batch_cost_matches_flat": cost_matches_flat,
         "peak_rss_kb": _peak_rss_kb(),
     }
+
+
+def environment_snapshot() -> Dict[str, object]:
+    """Recording-environment provenance for ``repro bench --record-env``.
+
+    ``BENCH_hotpath.json`` has been recorded on a 1-CPU container before,
+    which made every parallel cell look like a regression to anyone who
+    trusted the file without checking the host.  This snapshot pins the
+    facts a reader needs to judge the numbers: usable CPUs (affinity-aware
+    :func:`available_cpus`, not the raw core count), load at record time,
+    and the interpreter/numpy versions the crypto path depends on.
+    """
+    snapshot: Dict[str, object] = {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": available_cpus(),
+        "os_cpu_count": os.cpu_count(),
+    }
+    try:
+        snapshot["loadavg_1m"] = round(os.getloadavg()[0], 2)
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX
+        snapshot["loadavg_1m"] = None
+    try:
+        import numpy
+
+        snapshot["numpy"] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is optional
+        snapshot["numpy"] = None
+    return snapshot
+
+
+def profile_scenario(
+    name: str,
+    quick: bool = False,
+    out_dir: str = "benchmarks/out",
+    top: int = 25,
+) -> str:
+    """Run one named scenario under ``cProfile``; write a cumtime table.
+
+    The optimized variant of the scenario runs once inside the profiler
+    and the top ``top`` functions by cumulative time land in
+    ``<out_dir>/profile_<name>.txt`` (the path is returned).  This is the
+    tool that found the per-object crypto overhead the bulk engine now
+    removes — keep it honest by profiling cells, not microbenchmarks.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    matrix = quick_scenarios() if quick else standard_scenarios()
+    by_name = {scenario.name: scenario for scenario in matrix}
+    if name not in by_name:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {sorted(by_name)}"
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        _run_variant(by_name[name], optimized=True)
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    out_path = Path(out_dir) / f"profile_{name}.txt"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(stream.getvalue())
+    return str(out_path)
 
 
 def run_bench(
@@ -552,6 +673,7 @@ def run_bench(
     quick: bool = False,
     progress=None,
     workers: int = 1,
+    record_env: bool = False,
 ) -> Dict[str, object]:
     """Run the matrix and (optionally) write ``BENCH_hotpath.json``.
 
@@ -568,6 +690,9 @@ def run_bench(
         ``> 1`` fans whole scenarios out over a process pool (every
         scenario carries its own seed, so results are position-for-position
         identical; timings of co-scheduled cells do contend for cores).
+    record_env:
+        Embed :func:`environment_snapshot` in the report — pass this
+        whenever the output is meant to be committed as a baseline.
     """
     if scenarios is None:
         scenarios = quick_scenarios() if quick else standard_scenarios()
@@ -595,6 +720,11 @@ def run_bench(
                     f", object {result['object_ref']['total_s']:.2f}s"
                     f" -> {result['speedup_vs_object']:.1f}x vs object"
                 )
+            if result["speedup_vs_flat"] is not None:
+                line += (
+                    f", non-bulk {result['flat_ref']['total_s']:.2f}s"
+                    f" -> {result['speedup_vs_flat']:.1f}x vs non-bulk"
+                )
             progress(line)
     obs_overhead = measure_obs_overhead(
         iterations=20_000 if quick else 100_000
@@ -605,6 +735,17 @@ def run_bench(
             f"obs-overhead: disabled probes worst {worst_ns:.0f} ns/call "
             f"(budget {OBS_OVERHEAD_BUDGET_NS:.0f} ns)"
         )
+    warnings: List[str] = []
+    if available_cpus() < 2:
+        warnings.append(
+            "recorded on a host with <2 usable CPUs: parallel and bulk "
+            "speedups reflect pool/engine overhead under core starvation, "
+            "not capacity — re-record on a multi-core box before treating "
+            "this file as a baseline"
+        )
+    if progress is not None:
+        for warning in warnings:
+            progress(f"WARNING: {warning}")
     report = {
         "version": 2,
         "suite": "hotpath",
@@ -613,10 +754,13 @@ def run_bench(
         "platform": platform.platform(),
         "cpus": available_cpus(),
         "workers": workers,
+        "warnings": warnings,
         "scenarios": results,
         "obs_overhead": obs_overhead,
         "peak_rss_kb": _peak_rss_kb(),
     }
+    if record_env:
+        report["env"] = environment_snapshot()
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
     return report

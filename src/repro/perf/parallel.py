@@ -42,6 +42,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.crypto.bulk import PackedWraps
 from repro.crypto.material import KeyGenerator, KeyMaterial
 from repro.crypto.wrap import (
     EncryptedKey,
@@ -104,6 +105,9 @@ class ShardSpec:
     #: Tree kernel (``"object"`` or ``"flat"``); execution-only — both
     #: kernels emit byte-identical payloads for the same stream/ops.
     kernel: str = "object"
+    #: Bulk crypto engine flag (``None`` = resolve ``REPRO_BULK_CRYPTO``
+    #: in whichever process builds the shard); execution-only as well.
+    bulk: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -136,11 +140,12 @@ class _ShardState:
     def __init__(self, spec: ShardSpec) -> None:
         self.shard = spec.shard
         self.kernel = getattr(spec, "kernel", "object")
+        self.bulk = getattr(spec, "bulk", None)
         self.keygen = KeyGenerator.from_state(spec.stream)
         self.tree = make_kernel_tree(
             self.kernel, degree=spec.degree, keygen=self.keygen, name=spec.name
         )
-        self.rekeyer = make_kernel_rekeyer(self.tree)
+        self.rekeyer = make_kernel_rekeyer(self.tree, bulk=self.bulk)
 
     def apply(self, batch: ShardBatch, payload: str) -> ShardFragment:
         start = time.perf_counter()
@@ -151,7 +156,12 @@ class _ShardState:
         )
         keys = message.encrypted_keys
         if payload == PAYLOAD_HANDLES:
-            keys = [PlannedEncryptedKey.from_key(ek) for ek in keys]
+            if isinstance(keys, PackedWraps):
+                # Zero-copy cost-only fragment: share the pack's identity
+                # columns instead of building per-key planned records.
+                keys = keys.handles()
+            else:
+                keys = [PlannedEncryptedKey.from_key(ek) for ek in keys]
         return ShardFragment(
             shard=self.shard,
             encrypted_keys=keys,
@@ -167,7 +177,7 @@ class _ShardState:
     def load(self, data: dict) -> None:
         self.tree, epoch = tree_with_stream_from_dict(data, kernel=self.kernel)
         self.keygen = self.tree.keygen
-        self.rekeyer = make_kernel_rekeyer(self.tree)
+        self.rekeyer = make_kernel_rekeyer(self.tree, bulk=self.bulk)
         self.rekeyer._next_epoch = epoch
 
 

@@ -32,6 +32,7 @@ class OneTreeServer(GroupKeyServer):
         group: str = "group",
         join_refresh: str = "random",
         tree_kernel: str = "object",
+        bulk: Optional[bool] = None,
     ) -> None:
         if join_refresh not in ("random", "owf"):
             raise ValueError("join_refresh must be 'random' or 'owf'")
@@ -40,10 +41,11 @@ class OneTreeServer(GroupKeyServer):
         super().__init__(keygen=keygen, group=group)
         self.join_refresh = join_refresh
         self.tree_kernel = tree_kernel
+        self.bulk = bulk
         self.tree = make_kernel_tree(
             tree_kernel, degree=degree, keygen=self.keygen, name=f"{group}/tree"
         )
-        self.rekeyer = make_kernel_rekeyer(self.tree)
+        self.rekeyer = make_kernel_rekeyer(self.tree, bulk=bulk)
 
     def _process_batch(
         self,

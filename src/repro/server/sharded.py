@@ -78,6 +78,7 @@ class ShardedOneTreeServer(GroupKeyServer):
         join_refresh: str = "random",
         payload: str = PAYLOAD_FULL,
         tree_kernel: str = "object",
+        bulk: Optional[bool] = None,
     ) -> None:
         if join_refresh not in ("random", "owf"):
             raise ValueError("join_refresh must be 'random' or 'owf'")
@@ -85,6 +86,7 @@ class ShardedOneTreeServer(GroupKeyServer):
         self.join_refresh = join_refresh
         self.payload = payload
         self.tree_kernel = tree_kernel
+        self.bulk = bulk
         self.sharded = ShardedKeyTree(
             shards=shards,
             degree=degree,
@@ -94,6 +96,7 @@ class ShardedOneTreeServer(GroupKeyServer):
             workers=workers,
             payload=payload,
             kernel=tree_kernel,
+            bulk=bulk,
         )
         # The stitch stream is parent-side and dedicated, so DEK material
         # never depends on how many draws the shard streams have made.

@@ -31,13 +31,16 @@ def _build(trace, kernel):
     from repro.crypto.material import KeyGenerator
     from repro.keytree.serialize import make_kernel_rekeyer, make_kernel_tree
 
+    # "<kernel>-bulk" runs the same kernel with the bulk crypto engine
+    # forced on; the goldens must come out byte-identical either way.
+    base_kernel, _, suffix = kernel.partition("-")
     tree = make_kernel_tree(
-        kernel,
+        base_kernel,
         degree=trace["degree"],
         keygen=KeyGenerator(trace["seed"]),
         name="golden/tree",
     )
-    return make_kernel_rekeyer(tree)
+    return make_kernel_rekeyer(tree, bulk=(suffix == "bulk") or None)
 
 
 def _message_record(message):

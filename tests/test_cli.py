@@ -125,6 +125,24 @@ class TestTrace:
         assert "peak concurrency" in out
 
 
+class TestBench:
+    def test_profile_writes_cumtime_table(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)  # --profile writes under benchmarks/out/
+        code = main(["bench", "--quick", "--profile", "full-crypto-1k"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile_full-crypto-1k.txt" in out
+        assert "cumulative" in out
+        assert (
+            tmp_path / "benchmarks" / "out" / "profile_full-crypto-1k.txt"
+        ).exists()
+
+    def test_profile_unknown_scenario_rejected(self, capsys):
+        code = main(["bench", "--quick", "--profile", "no-such-cell"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
 class TestSimulateVariants:
     def test_pt_scheme_runs(self, capsys):
         code = main(

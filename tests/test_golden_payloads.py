@@ -35,7 +35,7 @@ def _trace_params():
     return [
         pytest.param(trace, kernel, id=f"{trace['name']}-{kernel}")
         for trace in _fixture["traces"]
-        for kernel in ("object", "flat")
+        for kernel in ("object", "flat", "object-bulk", "flat-bulk")
     ]
 
 

@@ -63,16 +63,18 @@ def assert_identical(obj_msg, flat_msg, context=""):
 class KernelPair:
     """Object and flat rekeyers fed the same operations in lock step."""
 
-    def __init__(self, degree, seed, join_refresh="random"):
+    def __init__(
+        self, degree, seed, join_refresh="random", bulk_obj=False, bulk_flat=False
+    ):
         self.join_refresh = join_refresh
         self.obj_tree = KeyTree(
             degree=degree, keygen=KeyGenerator(seed), name="g/tree"
         )
-        self.obj = LkhRekeyer(self.obj_tree)
+        self.obj = LkhRekeyer(self.obj_tree, bulk=bulk_obj)
         self.flat_tree = FlatKeyTree(
             degree=degree, keygen=KeyGenerator(seed), name="g/tree"
         )
-        self.flat = FlatRekeyer(self.flat_tree)
+        self.flat = FlatRekeyer(self.flat_tree, bulk=bulk_flat)
 
     def batch(self, joins=(), departures=(), force_root=False, context=""):
         obj_msg = self.obj.rekey_batch(
@@ -145,10 +147,17 @@ def run_program(pair, program):
     program=programs,
     degree=st.integers(min_value=2, max_value=5),
     deferred=st.booleans(),
+    # Asymmetric bulk combos: each bulk engine is gated against a
+    # non-bulk reference kernel, never only against the other bulk path.
+    bulk=st.sampled_from([(False, False), (False, True), (True, False)]),
 )
-def test_hypothesis_churn_traces_are_byte_identical(program, degree, deferred):
+def test_hypothesis_churn_traces_are_byte_identical(
+    program, degree, deferred, bulk
+):
     with deferred_wraps(enabled=deferred):
-        pair = KernelPair(degree=degree, seed=11)
+        pair = KernelPair(
+            degree=degree, seed=11, bulk_obj=bulk[0], bulk_flat=bulk[1]
+        )
         run_program(pair, program)
 
 
@@ -348,10 +357,13 @@ def wire_result(result):
     )
 
 
+@pytest.mark.parametrize("bulk", [False, True])
 @pytest.mark.parametrize(
     "backend,workers", [("serial", 1), ("thread", 2), ("process", 2)]
 )
-def test_sharded_flat_kernel_matches_object_across_backends(backend, workers):
+def test_sharded_flat_kernel_matches_object_across_backends(
+    backend, workers, bulk
+):
     with deferred_wraps():
         obj_server = ShardedOneTreeServer(shards=4, degree=3, group="kx")
         flat_server = ShardedOneTreeServer(
@@ -361,6 +373,7 @@ def test_sharded_flat_kernel_matches_object_across_backends(backend, workers):
             backend=backend,
             workers=workers,
             tree_kernel="flat",
+            bulk=bulk,
         )
         try:
             assert _server_wires(obj_server) == _server_wires(flat_server)

@@ -9,6 +9,9 @@ scans blows the budget by two orders of magnitude.
 
 import json
 import math
+from pathlib import Path
+
+import pytest
 
 from repro.crypto.wrap import deferred_wraps
 from repro.perf import recording
@@ -16,11 +19,13 @@ from repro.perf.bench import (
     BenchScenario,
     COST_ONLY,
     FULL_CRYPTO,
+    profile_scenario,
     quick_scenarios,
     run_bench,
     run_scenario,
     standard_scenarios,
 )
+from repro.perf.parallel import available_cpus
 from repro.server.onetree import OneTreeServer
 
 TINY_COST = BenchScenario(
@@ -33,6 +38,10 @@ TINY_CRYPTO = BenchScenario(
 TINY_FLAT = BenchScenario(
     "tiny-flat", 64, COST_ONLY, rounds=2, churn=4, sample_receivers=16,
     kernel="flat",
+)
+TINY_BULK = BenchScenario(
+    "tiny-bulk", 64, COST_ONLY, rounds=2, churn=4, sample_receivers=16,
+    kernel="flat", bulk=True,
 )
 
 
@@ -90,6 +99,71 @@ class TestBenchHarness:
         assert any(s.members >= 100_000 for s in flat_standard)
         assert any(s.server == "sharded" for s in flat_standard)
         assert any(s.kernel == "flat" for s in quick)
+        # ...and the bulk crypto engine, at 100k+ cost-only (the
+        # acceptance cell) and in one full-crypto configuration.
+        bulk_standard = [s for s in standard if s.bulk]
+        assert all(s.kernel == "flat" for s in bulk_standard)
+        assert any(
+            s.members >= 100_000 and s.mode == COST_ONLY
+            for s in bulk_standard
+        )
+        assert any(s.mode == FULL_CRYPTO for s in bulk_standard)
+        assert any(s.bulk for s in quick)
+        # The quick matrix must not carry a cell the single-CPU CI
+        # speedup floor would trip on (floor applies from 100k members).
+        assert all(s.members < 100_000 for s in quick if s.bulk)
+
+    def test_bulk_scenario_records_both_references(self):
+        result = run_scenario(TINY_BULK)
+        assert result["bulk"] is True
+        # Bulk cells diff against both the object kernel and the same
+        # flat cell with the engine off; all three must price alike.
+        assert result["object_ref"] is not None
+        assert result["flat_ref"] is not None
+        assert result["speedup_vs_object"] is not None
+        assert result["speedup_vs_flat"] is not None
+        assert result["mean_batch_cost_matches_object"] is True
+        assert result["mean_batch_cost_matches_flat"] is True
+        assert (
+            result["optimized"]["mean_batch_cost"]
+            == result["flat_ref"]["mean_batch_cost"]
+            == result["object_ref"]["mean_batch_cost"]
+        )
+
+    def test_non_bulk_scenarios_skip_the_flat_reference(self):
+        result = run_scenario(TINY_FLAT)
+        assert result["bulk"] is False
+        assert result["flat_ref"] is None
+        assert result["speedup_vs_flat"] is None
+        assert result["mean_batch_cost_matches_flat"] is None
+
+    def test_record_env_snapshot_and_cpu_warning(self):
+        report = run_bench(
+            scenarios=[TINY_CRYPTO], quick=True, record_env=True
+        )
+        env = report["env"]
+        assert env["cpus"] == report["cpus"]
+        assert env["python"] == report["python"]
+        assert "numpy" in env and "loadavg_1m" in env
+        # The warnings channel flags single-CPU recordings so a committed
+        # baseline can't silently hide a starved host again.
+        if available_cpus() < 2:
+            assert any("<2 usable CPUs" in w for w in report["warnings"])
+        else:
+            assert report["warnings"] == []
+        # Without --record-env the provenance section stays out.
+        lean = run_bench(scenarios=[TINY_CRYPTO], quick=True)
+        assert "env" not in lean
+
+    def test_profile_scenario_writes_cumtime_table(self, tmp_path):
+        path = profile_scenario(
+            "full-crypto-1k", quick=True, out_dir=str(tmp_path)
+        )
+        text = Path(path).read_text()
+        assert "cumulative" in text
+        assert "function calls" in text
+        with pytest.raises(KeyError):
+            profile_scenario("no-such-cell", quick=True)
 
     def test_flat_kernel_scenario_records_object_reference(self):
         result = run_scenario(TINY_FLAT)
