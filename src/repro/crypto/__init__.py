@@ -24,12 +24,15 @@ Public API
                             cost-only mode: postpone wrap ciphertexts
 """
 
+from repro.crypto.arena import SecretArena, arena_enabled
 from repro.crypto.bulk import (
     PackedWraps,
     bulk_enabled,
     derive_secret_list,
     derive_secrets,
     encrypt_wrap_rows,
+    resolve_threads,
+    thread_oversubscription_warning,
 )
 from repro.crypto.cipher import AuthenticationError, decrypt, encrypt
 from repro.crypto.material import KeyGenerator, KeyMaterial
@@ -53,7 +56,9 @@ __all__ = [
     "LazyEncryptedKey",
     "PackedWraps",
     "PlannedEncryptedKey",
+    "SecretArena",
     "WrapIndex",
+    "arena_enabled",
     "bulk_enabled",
     "decrypt",
     "deferred_wraps",
@@ -61,7 +66,9 @@ __all__ = [
     "derive_secrets",
     "encrypt",
     "encrypt_wrap_rows",
+    "resolve_threads",
     "set_wrap_mode",
+    "thread_oversubscription_warning",
     "unwrap_key",
     "wrap_key",
     "wrap_mode",

@@ -1,0 +1,184 @@
+"""Persistent key-material arena: tree secrets in one growable buffer.
+
+Every batch rekeying reads dozens-to-thousands of 32-byte node secrets.
+Before the arena, the flat kernel stored them in one ``bytearray`` but
+handed each consumer a fresh ``bytes`` slice copy — at 100k members that
+is tens of megabytes of throwaway allocations per epoch, all feeding an
+engine (:func:`repro.crypto.bulk.encrypt_wrap_rows`) that only needs to
+*read* the 32 bytes.  :class:`SecretArena` makes the buffer itself the
+source of truth:
+
+* secrets live at fixed ``slot * KEY_SIZE`` offsets in one growable
+  ``bytearray``; derivation writes in place, readers take zero-copy
+  ``memoryview`` slices;
+* slot recycling mirrors ``FlatKeyTree``'s freelist: :meth:`retire`
+  bumps the slot's generation, :meth:`reclaim` rewrites it for the next
+  tenant, and ``(slot, generation)`` handles detect use-after-free;
+* occupancy/recycling counters (``grown``/``reused``/``retired``) feed
+  the obs gauges so an operator can watch arena churn.
+
+The sharp edge of handing out views into a mutable, growable buffer is
+CPython's buffer-export rule: a live ``memoryview`` blocks ``bytearray``
+resize (``BufferError``), and a deferred wrap pack that kept a view
+across a mutation would silently encrypt post-mutation bytes.  The arena
+therefore never hands long-lived views to packs.  Deferred
+:class:`~repro.crypto.bulk.PackedWraps` store **int slot handles** and
+register themselves via :meth:`adopt`; before any mutation (append,
+reclaim, write, or bulk extend) the arena calls :meth:`quiesce`, which
+pins every still-live adopted pack's secrets to ``bytes``.  Views only
+exist transiently inside ``materialize()``, where no mutation can
+interleave.  Eager packs materialize before the planner returns, so they
+never need adoption at all — on the hot path (the default eager mode)
+``quiesce`` is a single empty-list check.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import List, Optional, Tuple
+
+from repro.crypto.material import KEY_SIZE
+
+ARENA_ENV = "REPRO_SECRET_ARENA"
+"""Environment switch: a truthy value turns the secret arena's zero-copy
+wrap planning on for every flat rekeyer constructed with ``arena=None``
+(the default) — the knob the CI ``thread-differential`` job flips to
+push the whole battery through the arena path."""
+
+
+def arena_enabled(flag: Optional[bool] = None) -> bool:
+    """Resolve a rekeyer's ``arena`` argument against :data:`ARENA_ENV`.
+
+    Explicit ``True``/``False`` win; ``None`` defers to the environment.
+    """
+    if flag is not None:
+        return bool(flag)
+    return os.environ.get(ARENA_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+class SecretArena:
+    """Slot-addressed secret storage with generations and quiescing."""
+
+    __slots__ = ("data", "generations", "retired", "reused", "grown", "_adopted")
+
+    def __init__(self, *secrets: bytes) -> None:
+        self.data = bytearray()
+        self.generations: List[int] = []
+        self.retired = 0
+        self.reused = 0
+        self.grown = 0
+        self._adopted: List[weakref.ref] = []
+        for secret in secrets:
+            self.append(secret)
+
+    # -- capacity ------------------------------------------------------
+
+    @property
+    def slots(self) -> int:
+        """Number of slots ever allocated (live + retired)."""
+        return len(self.generations)
+
+    def append(self, secret: bytes) -> int:
+        """Grow by one slot holding ``secret``; returns the new slot."""
+        self.quiesce()
+        slot = len(self.generations)
+        self.data.extend(secret)
+        self.generations.append(0)
+        self.grown += 1
+        return slot
+
+    def reclaim(self, slot: int, secret: bytes) -> None:
+        """Rewrite a retired ``slot`` for its next tenant."""
+        self.quiesce()
+        base = slot * KEY_SIZE
+        self.data[base : base + KEY_SIZE] = secret
+        self.reused += 1
+
+    def write(self, slot: int, secret: bytes) -> None:
+        """Overwrite a live slot in place (key refresh)."""
+        self.quiesce()
+        base = slot * KEY_SIZE
+        self.data[base : base + KEY_SIZE] = secret
+
+    def retire(self, slot: int) -> None:
+        """Mark ``slot`` free; outstanding handles to it go stale."""
+        self.generations[slot] += 1
+        self.retired += 1
+
+    # -- reads ---------------------------------------------------------
+
+    def view(self, slot: int) -> memoryview:
+        """Zero-copy view of ``slot``'s 32 bytes.
+
+        Transient use only: a held view blocks :meth:`append`'s buffer
+        resize (``BufferError``) and goes stale on the next refresh.
+        """
+        base = slot * KEY_SIZE
+        return memoryview(self.data)[base : base + KEY_SIZE]
+
+    def bytes_at(self, slot: int) -> bytes:
+        """A ``bytes`` copy of ``slot``'s secret (the pinning read)."""
+        base = slot * KEY_SIZE
+        return bytes(self.data[base : base + KEY_SIZE])
+
+    def handle(self, slot: int) -> Tuple[int, int]:
+        """``(slot, generation)`` — stale once the slot is retired."""
+        return (slot, self.generations[slot])
+
+    def is_current(self, slot: int, generation: int) -> bool:
+        """Whether a :meth:`handle` still names the slot's live tenant."""
+        return (
+            0 <= slot < len(self.generations)
+            and self.generations[slot] == generation
+        )
+
+    # -- deferred-pack discipline --------------------------------------
+
+    def adopt(self, pack) -> None:
+        """Track a deferred pack holding int slot handles into us.
+
+        The pack is pinned (``snapshot_secrets``) by the next
+        :meth:`quiesce`, i.e. before any mutation could change the bytes
+        under its rows.  Weakly referenced: packs that get materialized
+        and dropped cost nothing.
+        """
+        self._adopted.append(weakref.ref(pack))
+
+    def quiesce(self) -> int:
+        """Pin every live adopted pack to ``bytes``; returns the count.
+
+        Called by every mutator.  The empty-list fast path keeps the
+        per-mutation overhead at one attribute load and one truth test.
+        """
+        adopted = self._adopted
+        if not adopted:
+            return 0
+        pinned = 0
+        for ref in adopted:
+            pack = ref()
+            if pack is not None:
+                pack.snapshot_secrets()
+                pinned += 1
+        adopted.clear()
+        return pinned
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Occupancy/recycling counters for the obs gauges."""
+        return {
+            "slots": len(self.generations),
+            "bytes": len(self.data),
+            "grown": self.grown,
+            "reused": self.reused,
+            "retired": self.retired,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SecretArena slots={len(self.generations)} "
+            f"grown={self.grown} reused={self.reused} retired={self.retired}>"
+        )

@@ -32,6 +32,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.crypto.bulk import resolve_threads
 from repro.crypto.material import KeyGenerator, KeyMaterial
 from repro.keytree.serialize import TREE_KERNELS
 from repro.perf.parallel import (
@@ -102,6 +103,8 @@ class ShardedKeyTree:
         payload: str = PAYLOAD_FULL,
         kernel: str = "object",
         bulk: Optional[bool] = None,
+        threads: Optional[int] = None,
+        arena: Optional[bool] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shard count must be at least 1")
@@ -117,6 +120,19 @@ class ShardedKeyTree:
         self.payload = payload
         self.kernel = kernel
         self.bulk = bulk
+        self.threads = threads
+        self.arena = arena
+        # ``threads`` is the whole box's wrap-engine budget.  With one
+        # worker lane the shards run one at a time and each may use the
+        # full budget; with several lanes the budget is divided so
+        # ``workers`` concurrent shard jobs × per-shard threads never
+        # oversubscribe.  ``None`` with workers > 1 still divides (the
+        # env/auto resolution would otherwise be taken once per lane).
+        if self.workers <= 1:
+            shard_threads = threads
+        else:
+            shard_threads = max(1, resolve_threads(threads) // self.workers)
+        self.shard_threads = shard_threads
         keygen = keygen if keygen is not None else KeyGenerator()
         specs = [
             ShardSpec(
@@ -126,6 +142,8 @@ class ShardedKeyTree:
                 stream=keygen.derive_stream(f"shard{shard}").state(),
                 kernel=kernel,
                 bulk=bulk,
+                threads=shard_threads,
+                arena=arena,
             )
             for shard in range(shards)
         ]

@@ -34,6 +34,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.crypto.bulk import thread_oversubscription_warning
 from repro.crypto.wrap import deferred_wraps
 from repro.members.member import Member
 from repro.perf.instrumentation import PerfRecorder, recording
@@ -197,6 +198,13 @@ class BenchScenario:
     #: (or vs the object kernel's non-bulk run for object cells), again
     #: under a cost-match gate — the engine is execution-only.
     bulk: bool = False
+    #: Wrap-engine worker threads (bulk cells only; execution-only).
+    #: Cells with ``threads > 1`` or ``arena`` also run a
+    #: ``threads=1, arena=False`` reference and record ``speedup_vs_bulk``
+    #: under the same cost-match gate.
+    threads: int = 1
+    #: Secret-arena wrap planning (flat bulk cells only; execution-only).
+    arena: bool = False
 
 
 def standard_scenarios() -> List[BenchScenario]:
@@ -284,6 +292,18 @@ def standard_scenarios() -> List[BenchScenario]:
             "flat-bulk-full-10k", 10_000, FULL_CRYPTO, 3, 32, 0,
             kernel="flat", bulk=True,
         ),
+        # Threaded wrap-engine family — the bulk cell plus GIL-parallel
+        # HMAC execution and the secret arena; each runs a
+        # ``threads=1, arena=False`` reference and records
+        # ``speedup_vs_bulk`` under the usual cost-match gate.
+        BenchScenario(
+            "flat-bulk-t2-cost-100k", 100_000, COST_ONLY, 3, 64, 1_000,
+            kernel="flat", bulk=True, threads=2, arena=True,
+        ),
+        BenchScenario(
+            "flat-bulk-t4-cost-100k", 100_000, COST_ONLY, 3, 64, 1_000,
+            kernel="flat", bulk=True, threads=4, arena=True,
+        ),
     ]
 
 
@@ -312,6 +332,10 @@ def quick_scenarios() -> List[BenchScenario]:
             "flat-bulk-cost-10k", 10_000, COST_ONLY, 3, 32, 1_000,
             kernel="flat", bulk=True,
         ),
+        BenchScenario(
+            "flat-bulk-t2-cost-10k", 10_000, COST_ONLY, 3, 32, 1_000,
+            kernel="flat", bulk=True, threads=2, arena=True,
+        ),
     ]
 
 
@@ -329,12 +353,16 @@ def _build_bench_server(scenario: BenchScenario):
             payload=payload,
             tree_kernel=scenario.kernel,
             bulk=scenario.bulk,
+            threads=scenario.threads,
+            arena=scenario.arena,
         )
     return OneTreeServer(
         degree=scenario.degree,
         group=scenario.name,
         tree_kernel=scenario.kernel,
         bulk=scenario.bulk,
+        threads=scenario.threads,
+        arena=scenario.arena,
     )
 
 
@@ -506,7 +534,11 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
     plus whether ``mean_batch_cost`` matched — the backend must change
     wall-clock only, never the payload.  Flat-kernel cells likewise run
     an object-kernel reference and record ``speedup_vs_object`` with the
-    same cost-match gate (kernels are execution-only too).
+    same cost-match gate (kernels are execution-only too).  Bulk cells
+    with ``threads > 1`` or the arena on additionally run a
+    ``threads=1, arena=False`` reference and record ``speedup_vs_bulk``
+    — the wrap engine's worker threads and zero-copy planning are the
+    last execution-only layer in the stack.
     """
     optimized = _run_variant(scenario, optimized=True)
     gc.collect()
@@ -568,6 +600,23 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
             flat_ref["mean_batch_cost"] == optimized["mean_batch_cost"]
         )
 
+    bulk_ref = None
+    speedup_vs_bulk = None
+    cost_matches_bulk = None
+    if scenario.bulk and (scenario.threads != 1 or scenario.arena):
+        # Single-threaded, copy-planning bulk reference: what the worker
+        # threads and the arena together buy on top of the bulk engine.
+        reference = replace(scenario, threads=1, arena=False)
+        bulk_ref = _run_variant(reference, optimized=True)
+        gc.collect()
+        if optimized["total_s"]:
+            speedup_vs_bulk = round(
+                bulk_ref["total_s"] / optimized["total_s"], 2
+            )
+        cost_matches_bulk = (
+            bulk_ref["mean_batch_cost"] == optimized["mean_batch_cost"]
+        )
+
     return {
         "name": scenario.name,
         "members": scenario.members,
@@ -581,6 +630,8 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
         "backend": scenario.backend,
         "kernel": scenario.kernel,
         "bulk": scenario.bulk,
+        "threads": scenario.threads,
+        "arena": scenario.arena,
         "optimized": optimized,
         "baseline": baseline,
         "speedup": speedup,
@@ -593,6 +644,9 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
         "flat_ref": flat_ref,
         "speedup_vs_flat": speedup_vs_flat,
         "mean_batch_cost_matches_flat": cost_matches_flat,
+        "bulk_ref": bulk_ref,
+        "speedup_vs_bulk": speedup_vs_bulk,
+        "mean_batch_cost_matches_bulk": cost_matches_bulk,
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -633,12 +687,24 @@ def profile_scenario(
     quick: bool = False,
     out_dir: str = "benchmarks/out",
     top: int = 25,
+    reps: int = 3,
+    threads: Optional[int] = None,
+    arena: Optional[bool] = None,
 ) -> str:
     """Run one named scenario under ``cProfile``; write a cumtime table.
 
-    The optimized variant of the scenario runs once inside the profiler
-    and the top ``top`` functions by cumulative time land in
-    ``<out_dir>/profile_<name>.txt`` (the path is returned).  This is the
+    The optimized variant of the scenario runs ``reps`` times with the
+    same profiler accumulating across every repetition, and the top
+    ``top`` functions by cumulative time land in
+    ``<out_dir>/profile_<name>.txt`` (the path is returned).  A single
+    rep used to be profiled, which made the table a build-phase story:
+    one-time tree construction dominated and steady-state rekeying noise
+    (allocation churn, wrap planning) hid below the fold.  Aggregating
+    all reps keeps call counts honest — e.g. the arena's reduced
+    per-batch ``bytes`` allocations only show up across repetitions.
+    ``threads``/``arena`` override the named cell's wrap-engine config
+    (``repro bench --profile X --arena`` vs plain ``--profile X`` is how
+    to see the arena's allocation savings side by side).  This is the
     tool that found the per-object crypto overhead the bulk engine now
     removes — keep it honest by profiling cells, not microbenchmarks.
     """
@@ -652,13 +718,25 @@ def profile_scenario(
         raise KeyError(
             f"unknown scenario {name!r}; choose from {sorted(by_name)}"
         )
+    scenario = by_name[name]
+    if threads is not None:
+        scenario = replace(scenario, threads=threads)
+    if arena is not None:
+        scenario = replace(scenario, arena=arena)
+    reps = max(1, int(reps))
     profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        _run_variant(by_name[name], optimized=True)
-    finally:
-        profiler.disable()
+    for _ in range(reps):
+        profiler.enable()
+        try:
+            _run_variant(scenario, optimized=True)
+        finally:
+            profiler.disable()
+        gc.collect()
     stream = io.StringIO()
+    stream.write(
+        f"scenario {name}: {reps} rep(s) aggregated"
+        f" (threads={scenario.threads}, arena={scenario.arena})\n"
+    )
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats("cumulative").print_stats(top)
     out_path = Path(out_dir) / f"profile_{name}.txt"
@@ -725,6 +803,11 @@ def run_bench(
                     f", non-bulk {result['flat_ref']['total_s']:.2f}s"
                     f" -> {result['speedup_vs_flat']:.1f}x vs non-bulk"
                 )
+            if result["speedup_vs_bulk"] is not None:
+                line += (
+                    f", 1-thread {result['bulk_ref']['total_s']:.2f}s"
+                    f" -> {result['speedup_vs_bulk']:.1f}x vs 1-thread"
+                )
             progress(line)
     obs_overhead = measure_obs_overhead(
         iterations=20_000 if quick else 100_000
@@ -743,6 +826,15 @@ def run_bench(
             "not capacity — re-record on a multi-core box before treating "
             "this file as a baseline"
         )
+    # Oversubscribed wrap-engine budgets (env or scenario) used to pass
+    # silently; surface them the same way as the <2-CPU recording note.
+    oversubscribed = thread_oversubscription_warning()
+    if oversubscribed is None:
+        max_threads = max((s.threads for s in scenarios), default=1)
+        if max_threads > 1:
+            oversubscribed = thread_oversubscription_warning(max_threads)
+    if oversubscribed is not None:
+        warnings.append(oversubscribed)
     if progress is not None:
         for warning in warnings:
             progress(f"WARNING: {warning}")

@@ -108,6 +108,14 @@ class ShardSpec:
     #: Bulk crypto engine flag (``None`` = resolve ``REPRO_BULK_CRYPTO``
     #: in whichever process builds the shard); execution-only as well.
     bulk: Optional[bool] = None
+    #: Wrap-engine worker threads for this shard (``None`` = resolve
+    #: ``REPRO_BULK_THREADS`` in the shard's process).  The sharded tree
+    #: pre-divides the global thread budget by ``workers`` so process
+    #: lanes × threads never oversubscribe the box.
+    threads: Optional[int] = None
+    #: Secret-arena wrap planning (flat kernel; ``None`` = resolve
+    #: ``REPRO_SECRET_ARENA`` in the shard's process).
+    arena: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -141,11 +149,16 @@ class _ShardState:
         self.shard = spec.shard
         self.kernel = getattr(spec, "kernel", "object")
         self.bulk = getattr(spec, "bulk", None)
+        # getattr defaults keep pre-threads pickled specs loadable.
+        self.threads = getattr(spec, "threads", None)
+        self.arena = getattr(spec, "arena", None)
         self.keygen = KeyGenerator.from_state(spec.stream)
         self.tree = make_kernel_tree(
             self.kernel, degree=spec.degree, keygen=self.keygen, name=spec.name
         )
-        self.rekeyer = make_kernel_rekeyer(self.tree, bulk=self.bulk)
+        self.rekeyer = make_kernel_rekeyer(
+            self.tree, bulk=self.bulk, threads=self.threads, arena=self.arena
+        )
 
     def apply(self, batch: ShardBatch, payload: str) -> ShardFragment:
         start = time.perf_counter()
@@ -177,7 +190,9 @@ class _ShardState:
     def load(self, data: dict) -> None:
         self.tree, epoch = tree_with_stream_from_dict(data, kernel=self.kernel)
         self.keygen = self.tree.keygen
-        self.rekeyer = make_kernel_rekeyer(self.tree, bulk=self.bulk)
+        self.rekeyer = make_kernel_rekeyer(
+            self.tree, bulk=self.bulk, threads=self.threads, arena=self.arena
+        )
         self.rekeyer._next_epoch = epoch
 
 

@@ -79,6 +79,8 @@ class ShardedOneTreeServer(GroupKeyServer):
         payload: str = PAYLOAD_FULL,
         tree_kernel: str = "object",
         bulk: Optional[bool] = None,
+        threads: Optional[int] = None,
+        arena: Optional[bool] = None,
     ) -> None:
         if join_refresh not in ("random", "owf"):
             raise ValueError("join_refresh must be 'random' or 'owf'")
@@ -87,6 +89,10 @@ class ShardedOneTreeServer(GroupKeyServer):
         self.payload = payload
         self.tree_kernel = tree_kernel
         self.bulk = bulk
+        # ``threads`` is the whole-server wrap-engine budget; the sharded
+        # tree divides it across worker lanes (see ShardedKeyTree).
+        self.threads = threads
+        self.arena = arena
         self.sharded = ShardedKeyTree(
             shards=shards,
             degree=degree,
@@ -97,6 +103,8 @@ class ShardedOneTreeServer(GroupKeyServer):
             payload=payload,
             kernel=tree_kernel,
             bulk=bulk,
+            threads=threads,
+            arena=arena,
         )
         # The stitch stream is parent-side and dedicated, so DEK material
         # never depends on how many draws the shard streams have made.

@@ -1,0 +1,194 @@
+"""Unit battery for the persistent secret arena (:mod:`repro.crypto.arena`).
+
+Covers the slot lifecycle (append / retire / reclaim), generation
+handles detecting reuse-after-free, the deferred-pack quiesce
+discipline that pins ciphertext inputs before any in-place mutation,
+and the env-flag resolution the rekeyers use.
+"""
+
+import pickle
+
+import pytest
+
+from repro.crypto.arena import ARENA_ENV, SecretArena, arena_enabled
+from repro.crypto.bulk import PackedWraps, encrypt_wrap_rows
+from repro.crypto.material import KEY_SIZE, KeyGenerator
+
+
+def _secret(tag, filler):
+    return bytes([filler]) * (KEY_SIZE - len(tag)) + tag
+
+
+# ----------------------------------------------------------------------
+# slot lifecycle
+# ----------------------------------------------------------------------
+
+
+def test_append_and_reads():
+    a = SecretArena(_secret(b"a", 1), _secret(b"b", 2))
+    assert a.slots == 2
+    assert len(a.data) == 2 * KEY_SIZE
+    assert a.bytes_at(0) == _secret(b"a", 1)
+    assert bytes(a.view(1)) == _secret(b"b", 2)
+    assert a.view(1).nbytes == KEY_SIZE
+
+
+def test_write_in_place_refreshes_without_moving():
+    a = SecretArena(_secret(b"a", 1))
+    a.write(0, _secret(b"A", 9))
+    assert a.slots == 1
+    assert a.bytes_at(0) == _secret(b"A", 9)
+
+
+def test_retire_then_reclaim_reuses_the_slot():
+    a = SecretArena(_secret(b"a", 1), _secret(b"b", 2))
+    a.retire(0)
+    a.reclaim(0, _secret(b"c", 3))
+    assert a.slots == 2  # no growth: the freelist slot was recycled
+    assert a.bytes_at(0) == _secret(b"c", 3)
+    assert a.bytes_at(1) == _secret(b"b", 2)
+    stats = a.stats()
+    assert stats["grown"] == 2
+    assert stats["retired"] == 1
+    assert stats["reused"] == 1
+
+
+def test_handles_detect_reuse_after_free():
+    a = SecretArena(_secret(b"a", 1))
+    slot, gen = a.handle(0)
+    assert a.is_current(slot, gen)
+    a.retire(0)
+    # The old tenant's handle is stale the moment the slot is retired...
+    assert not a.is_current(slot, gen)
+    a.reclaim(0, _secret(b"b", 2))
+    # ...and stays stale for the next tenant, whose own handle is live.
+    assert not a.is_current(slot, gen)
+    new_slot, new_gen = a.handle(0)
+    assert (new_slot, new_gen) != (slot, gen)
+    assert a.is_current(new_slot, new_gen)
+    assert not a.is_current(99, 0)  # never-allocated slot
+
+
+def test_generation_counts_survive_many_tenancies():
+    a = SecretArena(_secret(b"a", 1))
+    handles = []
+    for tenant in range(5):
+        handles.append(a.handle(0))
+        a.retire(0)
+        a.reclaim(0, _secret(b"x", tenant + 10))
+    live = a.handle(0)
+    assert a.is_current(*live)
+    for stale in handles:
+        assert not a.is_current(*stale)
+    assert a.stats()["retired"] == 5
+    assert a.stats()["reused"] == 5
+
+
+# ----------------------------------------------------------------------
+# quiesce discipline: deferred packs pin before mutation
+# ----------------------------------------------------------------------
+
+
+def _pack_over(arena, slots, seed=9):
+    """A deferred pack wrapping fresh payloads under arena-resident keys."""
+    keygen = KeyGenerator(seed=seed)
+    payloads = [keygen.generate(f"p{i}") for i in range(len(slots))]
+    return PackedWraps(
+        [f"w{s}" for s in slots],
+        [1] * len(slots),
+        [p.key_id for p in payloads],
+        [p.version for p in payloads],
+        list(slots),  # int slot handles, resolved against the arena
+        [p.secret for p in payloads],
+        group_keys=list(slots),
+        arena=arena,
+    )
+
+
+def test_adopted_pack_is_pinned_before_mutation():
+    a = SecretArena(_secret(b"a", 1), _secret(b"b", 2))
+    pack = _pack_over(a, [0, 1])
+    a.adopt(pack)
+    expected = [pack.ciphertext_at(i) for i in range(len(pack))]
+
+    b = SecretArena(_secret(b"a", 1), _secret(b"b", 2))
+    pack2 = _pack_over(b, [0, 1])
+    b.adopt(pack2)
+    # Mutate every which way before the pack materializes: overwrite,
+    # retire+reclaim, and grow (which would move the bytearray).
+    b.write(0, _secret(b"X", 7))
+    b.retire(1)
+    b.reclaim(1, _secret(b"Y", 8))
+    for _ in range(64):
+        b.append(_secret(b"z", 5))
+    assert [pack2.ciphertext_at(i) for i in range(len(pack2))] == expected
+
+
+def test_quiesce_counts_and_clears():
+    a = SecretArena(_secret(b"a", 1))
+    pack = _pack_over(a, [0])
+    a.adopt(pack)
+    assert a.quiesce() == 1
+    assert a.quiesce() == 0  # adoption list drained
+    del pack
+    other = _pack_over(a, [0])
+    a.adopt(other)
+    del other
+    assert a.quiesce() == 0  # dead weakref costs nothing
+
+
+def test_pinned_pack_pickles_and_matches():
+    a = SecretArena(_secret(b"a", 1), _secret(b"b", 2))
+    pack = _pack_over(a, [0, 1])
+    a.adopt(pack)
+    a.write(0, _secret(b"X", 7))  # forces the pin
+    clone = pickle.loads(pickle.dumps(pack))
+    assert [clone.ciphertext_at(i) for i in range(len(clone))] == [
+        pack.ciphertext_at(i) for i in range(len(pack))
+    ]
+
+
+def test_arena_rows_equal_bytes_rows():
+    """Slot-handle planning emits the same bytes as plain-bytes planning."""
+    secrets = [_secret(bytes([65 + i]), i + 1) for i in range(6)]
+    a = SecretArena(*secrets)
+    keygen = KeyGenerator(seed=4)
+    payloads = [keygen.generate(f"p{i}") for i in range(24)]
+    w_ids = [f"w{i % 6}" for i in range(24)]
+    columns = (
+        w_ids,
+        [2] * 24,
+        [p.key_id for p in payloads],
+        [p.version for p in payloads],
+        [secrets[i % 6] for i in range(24)],
+        [p.secret for p in payloads],
+    )
+    expected = encrypt_wrap_rows(*columns)
+    via_views = encrypt_wrap_rows(
+        columns[0],
+        columns[1],
+        columns[2],
+        columns[3],
+        [a.view(i % 6) for i in range(24)],
+        columns[5],
+        group_keys=[i % 6 for i in range(24)],
+    )
+    assert via_views == expected
+
+
+# ----------------------------------------------------------------------
+# env-flag resolution
+# ----------------------------------------------------------------------
+
+
+def test_arena_enabled_resolution(monkeypatch):
+    monkeypatch.delenv(ARENA_ENV, raising=False)
+    assert arena_enabled(None) is False
+    assert arena_enabled(True) is True
+    for value in ("1", "true", "YES", "on"):
+        monkeypatch.setenv(ARENA_ENV, value)
+        assert arena_enabled(None) is True
+    monkeypatch.setenv(ARENA_ENV, "0")
+    assert arena_enabled(None) is False
+    monkeypatch.setenv(ARENA_ENV, "1")
+    assert arena_enabled(False) is False  # explicit wins over env

@@ -1,0 +1,197 @@
+"""GIL-parallel wrap execution battery (:mod:`repro.crypto.bulk`).
+
+The thread layer's whole contract is that ``threads`` is an execution
+parameter: for any batch shape — one giant wrap group, one row per
+group, rows vastly outnumbering groups — ``encrypt_wrap_rows`` must
+emit the same bytes at every thread count, and repeated concurrent use
+of the shared worker pool must never race on the output buffer.
+"""
+
+import contextlib
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.crypto.bulk as bulk_mod
+from repro.crypto.bulk import (
+    AUTO_THREAD_CAP,
+    THREADS_ENV,
+    WRAP_SIZE,
+    encrypt_wrap_rows,
+    resolve_threads,
+    thread_oversubscription_warning,
+)
+from repro.crypto.material import KeyGenerator
+from repro.crypto.wrap import wrap_key
+
+
+def _columns(pairs):
+    return (
+        [w.key_id for w, _ in pairs],
+        [w.version for w, _ in pairs],
+        [p.key_id for _, p in pairs],
+        [p.version for _, p in pairs],
+        [w.secret for w, _ in pairs],
+        [p.secret for _, p in pairs],
+    )
+
+
+def _make_pairs(n, distinct_wrapping, seed=3):
+    keygen = KeyGenerator(seed=seed)
+    wrappers = [
+        keygen.generate(f"w{i}", version=i % 3)
+        for i in range(max(1, distinct_wrapping))
+    ]
+    return [
+        (wrappers[i % len(wrappers)], keygen.generate(f"p{i}", version=i % 2))
+        for i in range(n)
+    ]
+
+
+def _rows(pairs, threads):
+    return encrypt_wrap_rows(*_columns(pairs), threads=threads)
+
+
+@contextlib.contextmanager
+def _force_threading():
+    """Drop the serial fallback so even tiny plans hit the pool.
+
+    ``MIN_ROWS_PER_THREAD`` keeps real workloads off the pool below the
+    point where handoff costs more than the HMACs; the byte-identity
+    battery wants the threaded code path itself, at every shape.
+    """
+    saved = bulk_mod.MIN_ROWS_PER_THREAD
+    bulk_mod.MIN_ROWS_PER_THREAD = 1
+    try:
+        yield
+    finally:
+        bulk_mod.MIN_ROWS_PER_THREAD = saved
+
+
+# ----------------------------------------------------------------------
+# byte identity across thread counts
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "n,distinct",
+    [
+        (1, 1),      # single row
+        (64, 1),     # one group holding every row
+        (64, 64),    # one row per group
+        (17, 64),    # more groups than rows
+        (600, 3),    # rows >> groups (crosses MIN_ROWS_PER_THREAD)
+        (600, 599),  # ~one row per group at threaded scale
+    ],
+)
+@pytest.mark.parametrize("threads", [2, 3, 4, 8])
+def test_thread_counts_are_byte_identical(n, distinct, threads):
+    pairs = _make_pairs(n, distinct)
+    serial = _rows(pairs, 1)
+    with _force_threading():
+        assert _rows(pairs, threads) == serial
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=200),
+    distinct=st.integers(min_value=1, max_value=200),
+    threads=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_thread_counts_property(n, distinct, threads, seed):
+    pairs = _make_pairs(n, distinct, seed=seed)
+    serial = _rows(pairs, 1)
+    with _force_threading():
+        assert _rows(pairs, threads) == serial
+
+
+def test_threaded_rows_equal_per_key_wraps():
+    pairs = _make_pairs(300, 5)
+    with _force_threading():
+        rows = _rows(pairs, 4)
+    for i, (wrapping, payload) in enumerate(pairs):
+        row = rows[i * WRAP_SIZE : (i + 1) * WRAP_SIZE]
+        assert row == wrap_key(wrapping, payload).ciphertext
+
+
+def test_explicit_group_keys_match_secret_grouping():
+    # The planner may group by caller-supplied keys (the all-singleton
+    # fast path the flat rekeyer uses) — same bytes either way.
+    pairs = _make_pairs(120, 120)
+    columns = _columns(pairs)
+    with _force_threading():
+        by_secret = encrypt_wrap_rows(*columns, threads=4)
+        by_key = encrypt_wrap_rows(
+            *columns, threads=4, group_keys=list(range(len(pairs)))
+        )
+    assert by_secret == by_key
+
+
+# ----------------------------------------------------------------------
+# thread-count resolution and oversubscription
+# ----------------------------------------------------------------------
+
+
+def test_resolve_threads_explicit_wins(monkeypatch):
+    monkeypatch.setenv(THREADS_ENV, "7")
+    assert resolve_threads(3) == 3
+    assert resolve_threads(0) == 1  # floor at one worker
+
+
+def test_resolve_threads_env_and_auto(monkeypatch):
+    monkeypatch.delenv(THREADS_ENV, raising=False)
+    auto = resolve_threads(None)
+    assert 1 <= auto <= AUTO_THREAD_CAP
+    monkeypatch.setenv(THREADS_ENV, "auto")
+    assert resolve_threads(None) == auto
+    monkeypatch.setenv(THREADS_ENV, "6")
+    assert resolve_threads(None) == 6
+    assert resolve_threads("auto") == 6
+
+
+def test_resolve_threads_rejects_garbage_env(monkeypatch):
+    monkeypatch.setenv(THREADS_ENV, "many")
+    with pytest.raises(ValueError):
+        resolve_threads(None)
+
+
+def test_oversubscription_warning(monkeypatch):
+    monkeypatch.delenv(THREADS_ENV, raising=False)
+    cpus = os.cpu_count() or 1
+    # Auto resolution can never oversubscribe.
+    assert thread_oversubscription_warning() is None
+    assert thread_oversubscription_warning(cpus) is None
+    message = thread_oversubscription_warning(cpus + 1)
+    assert message is not None and THREADS_ENV in message
+    monkeypatch.setenv(THREADS_ENV, str(cpus + 2))
+    assert thread_oversubscription_warning() is not None
+
+
+# ----------------------------------------------------------------------
+# concurrent stress: shared pool, disjoint buffers
+# ----------------------------------------------------------------------
+
+
+def test_concurrent_threaded_wraps_never_race():
+    """Many caller threads hammering the shared pool at once, each
+    checking its own output against the serial reference."""
+    pairs = _make_pairs(400, 4)
+    expected = _rows(pairs, 1)
+    failures = []
+
+    def worker():
+        for _ in range(5):
+            if _rows(pairs, 4) != expected:  # pragma: no cover - race
+                failures.append("divergent ciphertext")
+
+    with _force_threading():
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert not failures

@@ -43,6 +43,10 @@ TINY_BULK = BenchScenario(
     "tiny-bulk", 64, COST_ONLY, rounds=2, churn=4, sample_receivers=16,
     kernel="flat", bulk=True,
 )
+TINY_THREADED = BenchScenario(
+    "tiny-threaded", 64, COST_ONLY, rounds=2, churn=4, sample_receivers=16,
+    kernel="flat", bulk=True, threads=2, arena=True,
+)
 
 
 class TestBenchHarness:
@@ -137,6 +141,39 @@ class TestBenchHarness:
         assert result["speedup_vs_flat"] is None
         assert result["mean_batch_cost_matches_flat"] is None
 
+    def test_threaded_scenario_records_bulk_reference(self):
+        result = run_scenario(TINY_THREADED)
+        assert result["threads"] == 2 and result["arena"] is True
+        # Threaded/arena cells diff against the single-threaded bulk
+        # engine on top of the object/flat references.
+        assert result["bulk_ref"] is not None
+        assert result["speedup_vs_bulk"] is not None
+        assert result["mean_batch_cost_matches_bulk"] is True
+        assert (
+            result["optimized"]["mean_batch_cost"]
+            == result["bulk_ref"]["mean_batch_cost"]
+        )
+
+    def test_single_threaded_cells_skip_the_bulk_reference(self):
+        result = run_scenario(TINY_BULK)
+        assert result["bulk_ref"] is None
+        assert result["speedup_vs_bulk"] is None
+        assert result["mean_batch_cost_matches_bulk"] is None
+
+    def test_matrices_carry_the_threaded_cells(self):
+        standard = {s.name: s for s in standard_scenarios()}
+        quick = {s.name: s for s in quick_scenarios()}
+        for name, threads in (
+            ("flat-bulk-t2-cost-100k", 2),
+            ("flat-bulk-t4-cost-100k", 4),
+        ):
+            cell = standard[name]
+            assert cell.bulk and cell.kernel == "flat"
+            assert cell.threads == threads and cell.arena
+            assert cell.members >= 100_000 and cell.mode == COST_ONLY
+        cell = quick["flat-bulk-t2-cost-10k"]
+        assert cell.threads == 2 and cell.arena and cell.bulk
+
     def test_record_env_snapshot_and_cpu_warning(self):
         report = run_bench(
             scenarios=[TINY_CRYPTO], quick=True, record_env=True
@@ -157,13 +194,34 @@ class TestBenchHarness:
 
     def test_profile_scenario_writes_cumtime_table(self, tmp_path):
         path = profile_scenario(
-            "full-crypto-1k", quick=True, out_dir=str(tmp_path)
+            "full-crypto-1k", quick=True, out_dir=str(tmp_path), reps=1
         )
         text = Path(path).read_text()
         assert "cumulative" in text
         assert "function calls" in text
         with pytest.raises(KeyError):
             profile_scenario("no-such-cell", quick=True)
+
+    def test_profile_scenario_aggregates_reps(self, tmp_path):
+        """The stats table accumulates across reps, not just the last one."""
+        import re
+
+        def run_count(reps):
+            path = profile_scenario(
+                "cost-only-1k",
+                quick=True,
+                out_dir=str(tmp_path / f"r{reps}"),
+                reps=reps,
+            )
+            text = Path(path).read_text()
+            assert f"{reps} rep(s) aggregated" in text
+            # Total call volume scales with reps; compare the primitive
+            # call counts from the header line.
+            match = re.search(r"(\d+) function calls", text)
+            assert match is not None
+            return int(match.group(1))
+
+        assert run_count(2) > run_count(1) * 1.5
 
     def test_flat_kernel_scenario_records_object_reference(self):
         result = run_scenario(TINY_FLAT)
