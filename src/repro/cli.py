@@ -11,11 +11,17 @@ Commands
 ``metrics``   run a small observed session and dump the metrics exposition
 ``trace``     generate a synthetic MBone-style membership trace
 ``trace summarize`` summarize an observability trace file (spans/events)
+``trace export`` convert a trace file to Chrome trace-event JSON (Perfetto)
+``obs serve`` run an observed session with a live Prometheus endpoint
 ``tracestats`` summarize a trace file ([AA97]-style statistics)
 
 ``simulate``, ``bench`` and ``chaos`` accept ``--trace [FILE]`` and
 ``--metrics [FILE]`` to run under the :mod:`repro.obs` observability
-layer and write a JSONL trace / Prometheus exposition of the run.
+layer and write a JSONL trace / Prometheus exposition of the run, plus
+``--serve [PORT]`` to expose the live metrics registry over HTTP while
+the run is in flight.  ``bench --compare BASELINE.json`` diffs the fresh
+report against a committed baseline: cost-metric regressions fail, wall
+-time deltas from non-comparable hosts only warn.
 """
 
 from __future__ import annotations
@@ -209,20 +215,36 @@ def _observed(args: argparse.Namespace):
     """Run the body under :func:`repro.obs.observe` when requested.
 
     Activates the observability layer iff the command was given
-    ``--trace`` and/or ``--metrics``; on exit writes the requested
-    artifacts.  Yields the :class:`repro.obs.Observation` bundle (or
-    ``None`` when observability stays off, keeping the hot path at its
-    disabled-probe cost).
+    ``--trace``, ``--metrics`` and/or ``--serve``; on exit writes the
+    requested artifacts.  ``--serve`` additionally answers
+    ``GET /metrics`` on a daemon thread for the duration of the run, so
+    operators scrape the live registry instead of waiting for the final
+    exposition file.  Yields the :class:`repro.obs.Observation` bundle
+    (or ``None`` when observability stays off, keeping the hot path at
+    its disabled-probe cost).
     """
     trace_path = getattr(args, "trace_out", None)
     metrics_path = getattr(args, "metrics_out", None)
-    if trace_path is None and metrics_path is None:
+    serve_port = getattr(args, "serve_port", None)
+    if trace_path is None and metrics_path is None and serve_port is None:
         yield None
         return
     import repro.obs as obs
 
+    endpoint = None
     with obs.observe() as bundle:
-        yield bundle
+        if serve_port is not None:
+            from repro.obs.serve import MetricsServer
+
+            endpoint = MetricsServer(
+                registry=bundle.registry, port=serve_port
+            ).start()
+            print(f"serving live metrics at {endpoint.url}", flush=True)
+        try:
+            yield bundle
+        finally:
+            if endpoint is not None:
+                endpoint.stop()
     if trace_path is not None:
         count = obs.write_trace(bundle, trace_path)
         print(f"wrote {count} trace records to {trace_path}")
@@ -502,6 +524,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     if report["peak_rss_kb"] is not None:
         print(f"peak RSS: {report['peak_rss_kb'] / 1024:.0f} MiB")
+    if getattr(args, "compare", None):
+        return _compare_bench_baseline(report, args.compare)
+    return 0
+
+
+def _compare_bench_baseline(report: dict, baseline_path: str) -> int:
+    """``repro bench --compare``: diff the fresh report against a baseline."""
+    import json
+    from pathlib import Path
+
+    from repro.perf.bench import compare_reports
+
+    try:
+        baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"ERROR: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+    diff = compare_reports(report, baseline)
+    print(
+        f"compare vs {baseline_path}: {len(diff['compared'])} cells compared, "
+        f"{len(diff['skipped'])} skipped"
+    )
+    for line in diff["skipped"]:
+        print(f"  skipped {line}")
+    for line in diff["warnings"]:
+        print(f"WARNING: {line}")
+    for line in diff["failures"]:
+        print(f"ERROR: {line}", file=sys.stderr)
+    if diff["failures"]:
+        return 1
+    print("compare: no cost regressions")
     return 0
 
 
@@ -546,11 +599,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 f"  (latency mean {run['recoveries']['latency_mean_s']:.0f}s,"
                 f" {run['recoveries']['keys_mean']:.1f} keys/recovery)"
             )
+        ttd = run.get("time_to_new_dek", {})
+        if ttd.get("count"):
+            line += (
+                f"  dek p50 {ttd['p50_s']:.1f}s p99 {ttd['p99_s']:.1f}s"
+            )
         print(line)
     print(
         f"totals: {report['server_crashes_total']} crash-restores, "
         f"{report['abandoned_total']} abandonments, "
         f"{report['recoveries_total']} unicast recoveries, "
+        f"{report.get('abandoned_unrecovered_total', 0)} never recovered, "
         f"{report['violations_total']} invariant violations"
     )
     for run in report["runs"]:
@@ -625,6 +684,117 @@ def _cmd_trace_summarize(argv: List[str]) -> int:
     return 0
 
 
+def _cmd_trace_export(argv: List[str]) -> int:
+    """``repro trace export <file>`` — Chrome trace-event JSON for Perfetto.
+
+    Dispatched before argparse in :func:`main`, like ``trace summarize``.
+    """
+    import repro.obs as obs
+    from repro.obs.chrometrace import export_chrome_trace, validate_chrome_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace export",
+        description="convert an observability trace to Chrome trace-event "
+        "JSON, loadable at https://ui.perfetto.dev",
+    )
+    parser.add_argument("tracefile", help="JSONL trace written by --trace")
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="output path (default: <tracefile>.chrome.json)",
+    )
+    args = parser.parse_args(argv)
+    records = obs.read_trace(args.tracefile)
+    obs.validate_trace_records(records)
+    out = args.out or f"{args.tracefile}.chrome.json"
+    doc = export_chrome_trace(records, out)
+    counts = validate_chrome_trace(doc)
+    print(
+        f"wrote {out}: {counts.get('X', 0)} spans, "
+        f"{counts.get('i', 0)} instant events "
+        "(open at https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def _cmd_obs_serve(argv: List[str]) -> int:
+    """``repro obs serve`` — an observed session behind a live endpoint.
+
+    Runs the same small session as ``repro metrics`` but answers
+    ``GET /metrics`` on ``--port`` while it runs (and for ``--linger``
+    seconds afterwards), so a real Prometheus — or a curl-wielding
+    operator — can watch rekey latency histograms fill in live.
+    """
+    import time
+
+    import repro.obs as obs
+    from repro.members.durations import TwoClassDuration
+    from repro.members.population import LossPopulation
+    from repro.obs.serve import MetricsServer
+    from repro.sim.simulation import GroupRekeyingSimulation, SimulationConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs serve",
+        description="run an observed session with a live Prometheus endpoint",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=9109, help="0 picks an ephemeral port"
+    )
+    parser.add_argument(
+        "--scheme",
+        choices=("one", "sharded", "qt", "tt", "pt", "losshomog", "random-trees"),
+        default="tt",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("none", "wka-bkr", "multi-send", "fec"),
+        default="wka-bkr",
+    )
+    parser.add_argument("--horizon", type=float, default=600.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep serving after the session finishes (default: exit)",
+    )
+    args = parser.parse_args(argv)
+
+    server = _build_server(args.scheme, degree=4, s_period=600.0)
+    transport = _build_transport(args.transport)
+    config = SimulationConfig(
+        arrival_rate=1.0,
+        rekey_period=60.0,
+        horizon=args.horizon,
+        duration_model=TwoClassDuration(),
+        loss_population=(
+            LossPopulation.two_point() if transport is not None else None
+        ),
+        transport=transport,
+        verify=False,
+        seed=args.seed,
+    )
+    with obs.observe() as bundle:
+        with MetricsServer(
+            registry=bundle.registry, host=args.host, port=args.port
+        ) as endpoint:
+            print(f"serving live metrics at {endpoint.url}", flush=True)
+            metrics = GroupRekeyingSimulation(server, config).run()
+            print(
+                f"session finished: {metrics.rekey_count} rekeyings, "
+                f"{metrics.joins_total} joins, "
+                f"{metrics.departures_total} departures",
+                flush=True,
+            )
+            if args.linger > 0:
+                print(f"lingering {args.linger:.0f}s for scrapes ...")
+                time.sleep(args.linger)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.members.durations import TwoClassDuration
     from repro.members.trace import MBoneTraceGenerator, write_trace
@@ -682,6 +852,17 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="FILE",
             help="write the Prometheus metrics exposition to FILE "
             f"(default {stem}_metrics.prom)",
+        )
+        p.add_argument(
+            "--serve",
+            dest="serve_port",
+            type=int,
+            nargs="?",
+            const=0,
+            default=None,
+            metavar="PORT",
+            help="answer GET /metrics with the live registry while the "
+            "run is in flight (PORT 0 or omitted = ephemeral)",
         )
 
     workers_help = (
@@ -850,6 +1031,14 @@ def build_parser() -> argparse.ArgumentParser:
         "interpreter/numpy versions) in the report; use when committing "
         "the output as a baseline",
     )
+    p.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="diff the fresh report against a committed BENCH_hotpath.json: "
+        "cost-metric regressions fail (exit 1); wall-time deltas fail only "
+        "when the hosts are comparable, otherwise warn",
+    )
     add_crypto_flags(p)
     add_obs_flags(p, "bench")
     p.set_defaults(func=_cmd_bench)
@@ -934,6 +1123,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     # dispatched here rather than fighting argparse over the word.
     if argv[:2] == ["trace", "summarize"]:
         return _cmd_trace_summarize(argv[2:])
+    if argv[:2] == ["trace", "export"]:
+        return _cmd_trace_export(argv[2:])
+    if argv[:2] == ["obs", "serve"]:
+        return _cmd_obs_serve(argv[2:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

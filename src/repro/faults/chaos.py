@@ -172,6 +172,9 @@ def run_chaos_case(
         "server_crashes": metrics.server_crashes,
         "abandoned": metrics.abandoned_total,
         "recoveries": latency_summary(metrics.recoveries),
+        "time_to_new_dek": (
+            sim.latency.summary() if sim.latency is not None else {"count": 0}
+        ),
         "sync_counts": sim.sync_tracker.counts() if sim.sync_tracker else {},
         "channel_faults": {
             "blackout_losses": getattr(channel, "blackout_losses", 0),
@@ -225,6 +228,9 @@ def run_chaos(
         "violations_total": sum(len(r["violations"]) for r in runs),
         "recoveries_total": sum(r["recoveries"].get("count", 0) for r in runs),
         "abandoned_total": sum(r["abandoned"] for r in runs),
+        "abandoned_unrecovered_total": sum(
+            r["time_to_new_dek"].get("abandoned_unrecovered", 0) for r in runs
+        ),
         "server_crashes_total": sum(r["server_crashes"] for r in runs),
     }
     if out_path is not None:

@@ -226,17 +226,20 @@ class SyncTracker:
 
 
 def latency_summary(events: List[RecoveryEvent]) -> Dict[str, float]:
-    """min/mean/p95/max recovery-latency distribution for reporting."""
+    """min/mean/p50/p95/p99/max recovery-latency distribution for reporting."""
     if not events:
         return {"count": 0}
+    from repro.obs.latency import exact_percentile
+
     latencies = sorted(e.latency for e in events)
     costs = [e.keys_sent for e in events]
-    p95_index = min(len(latencies) - 1, int(0.95 * len(latencies)))
     return {
         "count": len(events),
         "latency_min_s": latencies[0],
         "latency_mean_s": sum(latencies) / len(latencies),
-        "latency_p95_s": latencies[p95_index],
+        "latency_p50_s": exact_percentile(0, latencies, 0.50),
+        "latency_p95_s": exact_percentile(0, latencies, 0.95),
+        "latency_p99_s": exact_percentile(0, latencies, 0.99),
         "latency_max_s": latencies[-1],
         "keys_total": sum(costs),
         "keys_mean": sum(costs) / len(costs),

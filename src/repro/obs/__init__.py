@@ -38,7 +38,17 @@ from repro.obs.events import EventLog, validate_record
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 
-TRACE_SCHEMA_VERSION = 1
+#: Current trace schema.  v2 (PR 10) adds ``wall_start_s`` to span
+#: records (absolute ``perf_counter`` starts for the Chrome exporter) and
+#: the latency event types; v1 traces remain readable.
+TRACE_SCHEMA_VERSION = 2
+
+#: Schemas :func:`validate_trace_records` accepts, with the span fields
+#: each requires.
+SUPPORTED_TRACE_SCHEMAS = {
+    1: ("span_id", "name", "wall_s", "events", "attributes"),
+    2: ("span_id", "name", "wall_s", "wall_start_s", "events", "attributes"),
+}
 
 __all__ = [
     "Observation",
@@ -52,6 +62,7 @@ __all__ = [
     "Tracer",
     "EventLog",
     "TRACE_SCHEMA_VERSION",
+    "SUPPORTED_TRACE_SCHEMAS",
 ]
 
 
@@ -163,13 +174,14 @@ def validate_trace_records(records: List[Dict[str, object]]) -> Dict[str, int]:
     header = records[0]
     if header.get("record") != "header" or header.get("kind") != "repro-trace":
         raise ValueError(f"bad trace header: {header!r}")
-    if header.get("schema") != TRACE_SCHEMA_VERSION:
+    span_fields = SUPPORTED_TRACE_SCHEMAS.get(header.get("schema"))
+    if span_fields is None:
         raise ValueError(f"unsupported trace schema {header.get('schema')!r}")
     counts = {"header": 1, "span": 0, "event": 0, "metrics": 0}
     for record in records[1:]:
         kind = record.get("record")
         if kind == "span":
-            for field in ("span_id", "name", "wall_s", "events", "attributes"):
+            for field in span_fields:
                 if field not in record:
                     raise ValueError(f"span record missing {field!r}: {record!r}")
             counts["span"] += 1

@@ -8,7 +8,16 @@
 3. the epoch count agrees across all three planes: the
    ``repro_server_rekeys_total`` counter in the exposition, the number
    of ``epoch`` events in the trace, and the ``server.rekeys`` counter
-   inside the trace's embedded metrics snapshot.
+   inside the trace's embedded metrics snapshot;
+4. **latency accounting** (schema-2 traces): every ``abandonment``
+   event's member-epoch story reaches a terminal event — abandonments
+   must equal ``resync_complete`` + ``abandoned_unrecovered`` — and,
+   when the ``rekey.latency`` histogram is in the snapshot, its
+   ``resync``/``abandoned`` sync-state series counts must agree with
+   those terminal events;
+5. with ``--chrome FILE``, that the exported Chrome trace-event JSON is
+   Perfetto-loadable (:func:`repro.obs.chrometrace.validate_chrome_trace`)
+   and carries exactly one complete (``"X"``) event per span record.
 
 Exits 0 and prints one summary line on success; prints the failure and
 exits 1 otherwise.
@@ -17,15 +26,100 @@ exits 1 otherwise.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.obs import read_trace, validate_trace_records
 from repro.obs.metrics import parse_prometheus
 
 
-def check(trace_path: Path, metrics_path: Path) -> str:
+def _latency_state_counts(metrics_snapshot: Dict[str, object]) -> Optional[Dict[str, int]]:
+    """Observation counts of ``rekey.latency`` keyed by ``sync_state``.
+
+    Returns None when the histogram isn't in the snapshot (cost-only runs
+    and pre-latency traces don't record it).
+    """
+    entry = metrics_snapshot.get("rekey.latency")
+    if not isinstance(entry, dict) or entry.get("kind") != "histogram":
+        return None
+    labels = list(entry.get("labels", ()))
+    if "sync_state" not in labels:
+        return None
+    state_index = labels.index("sync_state")
+    totals: Dict[str, int] = {}
+    for key, slot in entry.get("series", {}).items():
+        parts = key.split("|")
+        state = parts[state_index] if state_index < len(parts) else "?"
+        totals[state] = totals.get(state, 0) + int(slot["count"])
+    return totals
+
+
+def _check_latency_accounting(records: List[Dict[str, object]]) -> Optional[str]:
+    """The abandonment ledger: every opened interval must close.
+
+    Returns a summary fragment, or None when the trace has no latency
+    story to audit (no abandonments and no terminal events).
+    """
+    counts: Dict[str, int] = {}
+    for record in records:
+        if record.get("record") == "event":
+            counts[record["type"]] = counts.get(record["type"], 0) + 1
+    abandonments = counts.get("abandonment", 0)
+    resyncs = counts.get("resync_complete", 0)
+    unrecovered = counts.get("abandoned_unrecovered", 0)
+    if not (abandonments or resyncs or unrecovered):
+        return None
+    if abandonments != resyncs + unrecovered:
+        raise ValueError(
+            "latency accounting broken: "
+            f"{abandonments} abandonment events but "
+            f"{resyncs} resync_complete + {unrecovered} abandoned_unrecovered "
+            "— some member epoch stories ended silently"
+        )
+
+    snapshot: Dict[str, object] = {}
+    for record in records:
+        if record.get("record") == "metrics":
+            snapshot = record.get("snapshot", {})
+    state_counts = _latency_state_counts(snapshot)
+    if state_counts is not None:
+        observed = (state_counts.get("resync", 0), state_counts.get("abandoned", 0))
+        if observed != (resyncs, unrecovered):
+            raise ValueError(
+                "rekey.latency histogram disagrees with trace events: "
+                f"resync series count {observed[0]} vs {resyncs} "
+                f"resync_complete events, abandoned series count "
+                f"{observed[1]} vs {unrecovered} abandoned_unrecovered events"
+            )
+    return (
+        f"latency ledger closed ({abandonments} abandoned = "
+        f"{resyncs} resynced + {unrecovered} unrecovered)"
+    )
+
+
+def _check_chrome(chrome_path: Path, span_records: int) -> str:
+    """Validate an exported Chrome trace and tie it back to the source."""
+    from repro.obs.chrometrace import validate_chrome_trace
+
+    with chrome_path.open(encoding="utf-8") as handle:
+        doc = json.load(handle)
+    counts = validate_chrome_trace(doc)
+    complete = counts.get("X", 0)
+    if complete != span_records:
+        raise ValueError(
+            f"chrome trace has {complete} complete events but the source "
+            f"trace has {span_records} spans"
+        )
+    return f"chrome trace ok ({complete} complete events)"
+
+
+def check(
+    trace_path: Path,
+    metrics_path: Path,
+    chrome_path: Optional[Path] = None,
+) -> str:
     """Run all checks; returns the summary line, raises ValueError on failure."""
     records = read_trace(trace_path)
     counts = validate_trace_records(records)
@@ -58,10 +152,20 @@ def check(trace_path: Path, metrics_path: Path) -> str:
             f"trace snapshot={snapshot_epochs}"
         )
 
-    return (
+    extras: List[str] = []
+    latency_line = _check_latency_accounting(records)
+    if latency_line is not None:
+        extras.append(latency_line)
+    if chrome_path is not None:
+        extras.append(_check_chrome(chrome_path, counts["span"]))
+
+    line = (
         f"ok: {counts['span']} spans, {counts['event']} events, "
         f"{int(prom_epochs)} epochs (exposition == trace events == snapshot)"
     )
+    for extra in extras:
+        line += f"; {extra}"
+    return line
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -70,9 +174,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("trace", type=Path, help="JSONL trace file (--trace output)")
     parser.add_argument("metrics", type=Path, help="Prometheus exposition (--metrics output)")
+    parser.add_argument(
+        "--chrome",
+        type=Path,
+        default=None,
+        help="exported Chrome trace JSON to validate against the trace",
+    )
     args = parser.parse_args(argv)
     try:
-        print(check(args.trace, args.metrics))
+        print(check(args.trace, args.metrics, chrome_path=args.chrome))
     except (ValueError, OSError) as exc:
         print(f"obs check failed: {exc}", file=sys.stderr)
         return 1

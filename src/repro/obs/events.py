@@ -8,7 +8,7 @@ span records, so a single file replays the whole run.
 
 Records always carry::
 
-    {"record": "event", "schema": 1, "type": <type>, "time": <sim time>, ...}
+    {"record": "event", "schema": 2, "type": <type>, "time": <sim time>, ...}
 
 ``time`` is simulated seconds when the log has a clock bound (simulations
 bind theirs at start), else whatever the emitter passed, else ``null``.
@@ -22,10 +22,10 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-#: Required payload fields per event type (beyond record/schema/type/time).
-EVENT_TYPES: Dict[str, FrozenSet[str]] = {
+#: Required payload fields per schema-1 event type.
+EVENT_TYPES_V1: Dict[str, FrozenSet[str]] = {
     "join": frozenset({"member_id"}),
     "departure": frozenset({"member_id"}),
     "epoch": frozenset({"epoch", "joins", "departures", "cost"}),
@@ -36,6 +36,27 @@ EVENT_TYPES: Dict[str, FrozenSet[str]] = {
     "sync_transition": frozenset({"member_id", "from_state", "to_state"}),
 }
 
+#: Schema-2 additions: member-level rekey-latency accounting.  Every
+#: ``abandonment`` now gets exactly one terminal — ``resync_complete``
+#: when unicast catch-up lands, ``abandoned_unrecovered`` when the member
+#: departs (or the run ends) still out of sync — so latency intervals can
+#: never leak open.
+EVENT_TYPES_V2_ONLY: Dict[str, FrozenSet[str]] = {
+    "dek_adopted": frozenset({"member_id", "epoch", "latency", "sync_state"}),
+    "epoch_latency": frozenset({"epoch", "members", "p50", "p99", "max"}),
+    "resync_complete": frozenset({"member_id", "epoch", "latency"}),
+    "abandoned_unrecovered": frozenset({"member_id", "epoch", "open_for", "reason"}),
+}
+
+#: Required payload fields per event type (beyond record/schema/type/time).
+EVENT_TYPES: Dict[str, FrozenSet[str]] = {**EVENT_TYPES_V1, **EVENT_TYPES_V2_ONLY}
+
+#: Type maps per supported schema version — v1 traces stay parseable.
+SUPPORTED_SCHEMAS: Dict[int, Dict[str, FrozenSet[str]]] = {
+    1: EVENT_TYPES_V1,
+    2: EVENT_TYPES,
+}
+
 
 def validate_record(record: Dict[str, object]) -> None:
     """Raise ``ValueError`` unless ``record`` is a valid event record."""
@@ -43,13 +64,14 @@ def validate_record(record: Dict[str, object]) -> None:
         raise ValueError(f"event record must be an object, got {type(record).__name__}")
     if record.get("record") != "event":
         raise ValueError(f"not an event record: {record.get('record')!r}")
-    if record.get("schema") != SCHEMA_VERSION:
+    type_map = SUPPORTED_SCHEMAS.get(record.get("schema"))  # type: ignore[arg-type]
+    if type_map is None:
         raise ValueError(
             f"unsupported event schema {record.get('schema')!r} "
-            f"(expected {SCHEMA_VERSION})"
+            f"(expected one of {sorted(SUPPORTED_SCHEMAS)})"
         )
     etype = record.get("type")
-    required = EVENT_TYPES.get(etype)  # type: ignore[arg-type]
+    required = type_map.get(etype)  # type: ignore[arg-type]
     if required is None:
         raise ValueError(f"unknown event type {etype!r}")
     if "time" not in record:

@@ -1,0 +1,305 @@
+"""Member-level rekey latency: time-to-new-DEK accounting.
+
+The paper's figures price rekeying in *bandwidth* (encrypted keys per
+batch); a production operator prices it in *latency* — how long after a
+batch closes does each member hold the new group DEK?  This module owns
+that accounting.  A :class:`LatencyTracker` lives on the simulation and
+records, in simulated seconds, one closed interval per member per epoch:
+
+* **delivered** — the transport satisfied the member in retry round 0;
+  latency is 0 (the DEK is usable the instant the batch ships).
+* **late** — the member needed retry rounds; latency is the virtual
+  elapsed time the transport accumulated before the member's wanted set
+  emptied (see ``TransportResult.completed``).
+* **resync** — retries exhausted, the member was abandoned and later
+  recovered via unicast catch-up; latency runs from batch close to the
+  catch-up delivery.
+* **abandoned** — the member departed (or the run ended) while still out
+  of sync; the interval closes with the time it sat unrecovered and is
+  excluded from adoption percentiles.
+
+Every abandonment therefore gets exactly one terminal event —
+``resync_complete`` or ``abandoned_unrecovered`` — so intervals can never
+leak open (the chaos harness previously ended these stories silently).
+
+Aggregation is double-booked by design: the tracker keeps exact samples
+per epoch for exact p50/p95/p99 extraction (``summary()``,
+``epoch_percentiles()``), and every closed interval is also observed into
+the active :class:`~repro.obs.metrics.MetricsRegistry` as the
+``rekey.latency`` histogram over :data:`LATENCY_LOG_BUCKETS_S`, labeled
+``scheme``/``shard``/``sync_state``.  The histogram path is what rides
+the process-pool snapshot/merge pipe, so a sharded ``--workers N`` run
+reports byte-identical latency series to a serial one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import LATENCY_LOG_BUCKETS_S
+
+#: Histogram metric name for member time-to-new-DEK.
+LATENCY_METRIC = "rekey.latency"
+
+#: Quantiles the summaries report.
+SUMMARY_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def exact_percentile(
+    zeros: int, nonzero_sorted: List[float], q: float
+) -> float:
+    """Exact-rank quantile over ``zeros`` 0.0-samples plus sorted values."""
+    n = zeros + len(nonzero_sorted)
+    if n == 0:
+        return 0.0
+    rank = max(1, math.ceil(n * q))
+    if rank <= zeros:
+        return 0.0
+    return nonzero_sorted[rank - zeros - 1]
+
+
+class _EpochSlot:
+    """Per-epoch accumulator: zero-latency count plus exact tails."""
+
+    __slots__ = ("zero", "samples", "abandoned")
+
+    def __init__(self) -> None:
+        self.zero = 0
+        #: (member_id, latency, sync_state) for every nonzero adoption.
+        self.samples: List[Tuple[str, float, str]] = []
+        #: (member_id, open_for) for intervals that never closed in sync.
+        self.abandoned: List[Tuple[str, float]] = []
+
+
+class LatencyTracker:
+    """Records when each member's new group DEK becomes usable per epoch."""
+
+    def __init__(
+        self,
+        scheme: str = "",
+        shard_fn: Optional[Callable[[str], str]] = None,
+    ) -> None:
+        self.scheme = scheme or "unknown"
+        self._shard_fn = shard_fn
+        #: member_id -> (epoch, opened_at) for abandoned-awaiting-resync.
+        self._open: Dict[str, Tuple[int, float]] = {}
+        self._epochs: Dict[int, _EpochSlot] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def _shard(self, member_id: str) -> str:
+        if self._shard_fn is None:
+            return "0"
+        return str(self._shard_fn(member_id))
+
+    def _observe_histogram(
+        self, member_id: str, latency: float, sync_state: str
+    ) -> None:
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.observe(
+                LATENCY_METRIC,
+                latency,
+                buckets=LATENCY_LOG_BUCKETS_S,
+                scheme=self.scheme,
+                shard=self._shard(member_id),
+                sync_state=sync_state,
+            )
+
+    def _slot(self, epoch: int) -> _EpochSlot:
+        slot = self._epochs.get(epoch)
+        if slot is None:
+            slot = self._epochs[epoch] = _EpochSlot()
+        return slot
+
+    def observe_delivery(
+        self, member_id: str, epoch: int, latency: float
+    ) -> None:
+        """A member absorbed the epoch's keys off the multicast channel.
+
+        ``latency`` is the transport's virtual elapsed time at the round
+        that satisfied the member — 0.0 for round-0 delivery.
+        """
+        slot = self._slot(epoch)
+        if latency <= 0.0:
+            slot.zero += 1
+            self._observe_histogram(member_id, 0.0, "delivered")
+            return
+        slot.samples.append((member_id, latency, "late"))
+        self._observe_histogram(member_id, latency, "late")
+        if obs_events.active_log() is not None:
+            obs_events.emit(
+                "dek_adopted",
+                member_id=member_id,
+                epoch=epoch,
+                latency=round(latency, 6),
+                sync_state="late",
+            )
+
+    def open_interval(self, member_id: str, epoch: int, opened_at: float) -> None:
+        """The transport abandoned a member; its epoch story is now open.
+
+        Idempotent per member: a member abandoned while already awaiting
+        resync keeps its earliest open interval (the operator cares about
+        total time out of sync, not the latest failure).
+        """
+        self._open.setdefault(member_id, (epoch, opened_at))
+
+    def close_resync(self, member_id: str, now: float) -> Optional[float]:
+        """Unicast catch-up landed: close the member's open interval."""
+        interval = self._open.pop(member_id, None)
+        if interval is None:
+            return None
+        epoch, opened_at = interval
+        latency = max(0.0, now - opened_at)
+        self._slot(epoch).samples.append((member_id, latency, "resync"))
+        self._observe_histogram(member_id, latency, "resync")
+        if obs_events.active_log() is not None:
+            obs_events.emit(
+                "resync_complete",
+                member_id=member_id,
+                epoch=epoch,
+                latency=round(latency, 6),
+            )
+            obs_events.emit(
+                "dek_adopted",
+                member_id=member_id,
+                epoch=epoch,
+                latency=round(latency, 6),
+                sync_state="resync",
+            )
+        return latency
+
+    def close_abandoned(
+        self, member_id: str, now: float, reason: str
+    ) -> Optional[float]:
+        """The member left (or the run ended) still out of sync."""
+        interval = self._open.pop(member_id, None)
+        if interval is None:
+            return None
+        epoch, opened_at = interval
+        open_for = max(0.0, now - opened_at)
+        self._slot(epoch).abandoned.append((member_id, open_for))
+        self._observe_histogram(member_id, open_for, "abandoned")
+        if obs_events.active_log() is not None:
+            obs_events.emit(
+                "abandoned_unrecovered",
+                member_id=member_id,
+                epoch=epoch,
+                open_for=round(open_for, 6),
+                reason=reason,
+            )
+        return open_for
+
+    def finish(self, now: float) -> int:
+        """Close every still-open interval at end of run; returns how many."""
+        leaked = list(self._open)
+        for member_id in leaked:
+            self.close_abandoned(member_id, now, reason="run-end")
+        return len(leaked)
+
+    def epoch_complete(self, epoch: int) -> None:
+        """Emit the streaming per-epoch summary event (multicast path only —
+        resyncs that land later are folded into the final summaries)."""
+        if obs_events.active_log() is None:
+            return
+        stats = self.epoch_percentiles(epoch)
+        if stats["members"] == 0:
+            return
+        obs_events.emit(
+            "epoch_latency",
+            epoch=epoch,
+            members=stats["members"],
+            p50=stats["p50"],
+            p99=stats["p99"],
+            max=stats["max"],
+        )
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    @property
+    def open_count(self) -> int:
+        """Intervals still awaiting a terminal (0 after :meth:`finish`)."""
+        return len(self._open)
+
+    def epoch_percentiles(self, epoch: int) -> Dict[str, float]:
+        """Exact adoption percentiles for one epoch (abandoned excluded)."""
+        slot = self._epochs.get(epoch)
+        if slot is None:
+            return {"members": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        values = sorted(latency for _, latency, _ in slot.samples)
+        members = slot.zero + len(values)
+        out: Dict[str, float] = {"members": members, "max": values[-1] if values else 0.0}
+        for q in SUMMARY_QUANTILES:
+            out[f"p{int(q * 100)}"] = round(
+                exact_percentile(slot.zero, values, q), 6
+            )
+        out["max"] = round(out["max"], 6)
+        return out
+
+    def epoch_rows(self) -> List[Dict[str, float]]:
+        """Per-epoch percentile rows, epoch-ordered (for reports)."""
+        rows = []
+        for epoch in sorted(self._epochs):
+            row = self.epoch_percentiles(epoch)
+            row["epoch"] = epoch
+            row["abandoned"] = len(self._epochs[epoch].abandoned)
+            rows.append(row)
+        return rows
+
+    def worst(self, n: int = 5) -> List[Dict[str, object]]:
+        """The ``n`` slowest member stories across the run, worst first."""
+        entries: List[Tuple[float, str, int, str]] = []
+        for epoch, slot in self._epochs.items():
+            for member_id, latency, state in slot.samples:
+                entries.append((latency, member_id, epoch, state))
+            for member_id, open_for in slot.abandoned:
+                entries.append((open_for, member_id, epoch, "abandoned"))
+        entries.sort(reverse=True)
+        return [
+            {
+                "member": member_id,
+                "epoch": epoch,
+                "latency_s": round(latency, 6),
+                "state": state,
+            }
+            for latency, member_id, epoch, state in entries[:n]
+        ]
+
+    def summary(self) -> Dict[str, object]:
+        """Run-level time-to-new-DEK summary (JSON-safe, exact ranks)."""
+        zeros = sum(slot.zero for slot in self._epochs.values())
+        values: List[float] = []
+        late = resyncs = abandoned = 0
+        for slot in self._epochs.values():
+            for _, latency, state in slot.samples:
+                values.append(latency)
+                if state == "resync":
+                    resyncs += 1
+                else:
+                    late += 1
+            abandoned += len(slot.abandoned)
+        values.sort()
+        count = zeros + len(values)
+        out: Dict[str, object] = {
+            "count": count,
+            "zero_fraction": round(zeros / count, 6) if count else 0.0,
+            "late": late,
+            "resyncs": resyncs,
+            "abandoned_unrecovered": abandoned,
+            "open": self.open_count,
+            "max_s": round(values[-1], 6) if values else 0.0,
+            "worst": self.worst(5),
+        }
+        for q in SUMMARY_QUANTILES:
+            out[f"p{int(q * 100)}_s"] = round(
+                exact_percentile(zeros, values, q), 6
+            )
+        return out

@@ -34,6 +34,7 @@ for-bucket.
 
 from __future__ import annotations
 
+import math
 import re
 import threading
 from contextlib import contextmanager
@@ -49,6 +50,16 @@ SIZE_BUCKETS: Tuple[float, ...] = (
 LATENCY_BUCKETS_S: Tuple[float, ...] = (
     0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
     1.0, 5.0, 15.0, 60.0, 300.0, 1_800.0,
+)
+
+#: Log-spaced bucket scheme for member rekey latency in simulated seconds.
+#: The leading 0 bucket isolates same-instant DEK adoption (delivery in
+#: retry round 0); the power-of-two ladder spans sub-second retry backoff
+#: through multi-hour abandonment windows, and the fixed bounds keep
+#: worker snapshots mergeable bucket-for-bucket.
+LATENCY_LOG_BUCKETS_S: Tuple[float, ...] = (
+    0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+    256.0, 512.0, 1_024.0, 2_048.0, 4_096.0,
 )
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
@@ -179,6 +190,56 @@ class Histogram:
             "sum": slot["sum"],
             "mean": slot["sum"] / slot["count"],  # type: ignore[operator]
         }
+
+    def quantile(self, q: float, **labels: str) -> Optional[float]:
+        """Upper-bound estimate of quantile ``q`` for one series."""
+        slot = self.series.get(_label_key(self.label_names, labels))
+        if slot is None:
+            return None
+        return bucket_quantile(self.buckets, slot["buckets"], q)  # type: ignore[arg-type]
+
+
+def bucket_quantile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Quantile ``q`` of a histogram series, as a bucket upper bound.
+
+    ``counts`` is the per-bucket (non-cumulative) count list with the
+    overflow bucket last, exactly as stored in a series slot or snapshot.
+    Uses exact-rank semantics over the bucket bounds: the result is the
+    upper bound of the bucket holding the ``ceil(q*n)``-th observation.
+    Returns ``None`` for an empty series or when the rank falls in the
+    overflow bucket (which has no finite bound).
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    total = sum(counts)
+    if not total:
+        return None
+    rank = max(1, math.ceil(total * q))
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        if cumulative >= rank:
+            return bound
+    return None  # rank landed in the overflow bucket
+
+
+def merge_bucket_series(
+    slots: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """Pointwise sum of histogram series slots sharing one bucket scheme."""
+    if not slots:
+        return {"buckets": [], "sum": 0.0, "count": 0}
+    width = len(slots[0]["buckets"])  # type: ignore[arg-type]
+    buckets = [0] * width
+    total, count = 0.0, 0
+    for slot in slots:
+        for i, n in enumerate(slot["buckets"]):  # type: ignore[call-overload]
+            buckets[i] += n
+        total += slot["sum"]  # type: ignore[operator]
+        count += slot["count"]  # type: ignore[operator]
+    return {"buckets": buckets, "sum": total, "count": count}
 
 
 class MetricsRegistry:

@@ -13,13 +13,17 @@ Reads a JSONL trace file produced with ``--trace`` and reports:
   prediction from :mod:`repro.analysis.batchcost`: the observed mean
   batch cost is compared to ``Ne(mean N, mean L)`` at the traced tree
   degree.
+* **Rekey latency** (schema-2 traces) — per-epoch time-to-new-DEK
+  quantiles from ``epoch_latency`` events, the worst individual member
+  adoptions from ``dek_adopted`` events, and overall p50/p95/p99 from
+  the ``rekey.latency`` histogram in the embedded snapshot.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import Histogram, bucket_quantile
 
 
 def _histogram_view(entry: Dict[str, object]) -> Dict[str, Dict[str, object]]:
@@ -150,6 +154,70 @@ def build_summary(records: List[Dict[str, object]], top: int = 10) -> Dict[str, 
         "shard_imbalance": imbalance,
         "receiver": receiver,
         "analytic": analytic,
+        "latency": _latency_section(events, metrics, top=top),
+    }
+
+
+def _latency_section(
+    events: List[Dict[str, object]],
+    metrics: Dict[str, object],
+    top: int = 10,
+) -> Optional[Dict[str, object]]:
+    """The time-to-new-DEK story of a schema-2 trace (None when absent)."""
+    epoch_rows = [
+        {
+            "epoch": event["epoch"],
+            "members": event["members"],
+            "p50_s": event["p50"],
+            "p99_s": event["p99"],
+            "max_s": event["max"],
+        }
+        for event in events
+        if event.get("type") == "epoch_latency"
+    ]
+    adoptions = [e for e in events if e.get("type") == "dek_adopted"]
+    unrecovered = sum(
+        1 for e in events if e.get("type") == "abandoned_unrecovered"
+    )
+    entry = metrics.get("rekey.latency")
+    if not epoch_rows and not adoptions and not entry:
+        return None
+
+    worst_epochs = sorted(
+        epoch_rows, key=lambda row: (row["p99_s"], row["max_s"]), reverse=True
+    )[:top]
+    worst_members = [
+        {
+            "member": row["member_id"],
+            "epoch": row["epoch"],
+            "latency_s": row["latency"],
+            "sync_state": row["sync_state"],
+        }
+        for row in sorted(
+            adoptions, key=lambda e: e.get("latency", 0.0), reverse=True
+        )[:5]
+    ]
+
+    overall: Dict[str, object] = {"count": 0}
+    if entry and entry.get("kind") == "histogram":
+        slot = _merged_slot(entry)
+        bounds = list(entry.get("buckets", ()))
+        overall = {
+            "count": int(slot["count"]),
+            "p50_s": bucket_quantile(bounds, slot["buckets"], 0.50),
+            "p95_s": bucket_quantile(bounds, slot["buckets"], 0.95),
+            "p99_s": bucket_quantile(bounds, slot["buckets"], 0.99),
+        }
+        zero_bucket = slot["buckets"][0] if bounds and bounds[0] == 0.0 else 0
+        if slot["count"]:
+            overall["round0_fraction"] = round(zero_bucket / slot["count"], 4)
+
+    return {
+        "overall": overall,
+        "epochs": len(epoch_rows),
+        "worst_epochs": worst_epochs,
+        "worst_members": worst_members,
+        "abandoned_unrecovered": unrecovered,
     }
 
 
@@ -217,4 +285,47 @@ def format_summary(summary: Dict[str, object]) -> str:
         )
         if analytic["ratio"] is not None:
             lines.append(f"  observed/predicted: {analytic['ratio']}")
+    latency = summary.get("latency")
+    if latency:
+        lines.append("")
+        lines.append("rekey latency (time-to-new-DEK)")
+        overall = latency["overall"]
+        if overall.get("count"):
+            quantiles = " ".join(
+                f"{q}<={overall[key]:g}s"
+                for q, key in (("p50", "p50_s"), ("p95", "p95_s"), ("p99", "p99_s"))
+                if overall.get(key) is not None
+            )
+            line = f"  adoptions: {overall['count']}"
+            if quantiles:
+                line += f"  {quantiles}"
+            if overall.get("round0_fraction") is not None:
+                line += f"  round-0: {overall['round0_fraction']:.1%}"
+            lines.append(line)
+        if latency["abandoned_unrecovered"]:
+            lines.append(
+                f"  abandoned unrecovered: {latency['abandoned_unrecovered']}"
+            )
+        if latency["worst_epochs"]:
+            lines.append(
+                f"  worst epochs (of {latency['epochs']}, by p99)"
+            )
+            lines.append(
+                f"    {'epoch':>6} {'members':>8} {'p50_s':>8} {'p99_s':>8} {'max_s':>8}"
+            )
+            for row in latency["worst_epochs"]:
+                lines.append(
+                    f"    {row['epoch']:>6} {row['members']:>8} "
+                    f"{row['p50_s']:>8.2f} {row['p99_s']:>8.2f} {row['max_s']:>8.2f}"
+                )
+        if latency["worst_members"]:
+            lines.append("  worst members")
+            lines.append(
+                f"    {'member':<12} {'epoch':>6} {'latency_s':>10} {'state':<10}"
+            )
+            for row in latency["worst_members"]:
+                lines.append(
+                    f"    {row['member']:<12} {row['epoch']:>6} "
+                    f"{row['latency_s']:>10.2f} {row['sync_state']:<10}"
+                )
     return "\n".join(lines)

@@ -119,6 +119,7 @@ class Span:
             "parent_id": self.parent_id,
             "name": self.name,
             "wall_s": round(self.duration_s, 6),
+            "wall_start_s": round(self.wall_start_s, 6),
             "sim_start": self.sim_start,
             "sim_end": self.sim_end,
             "attributes": self.attributes,

@@ -32,7 +32,7 @@ import sys
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.bulk import thread_oversubscription_warning
 from repro.crypto.wrap import deferred_wraps
@@ -856,3 +856,150 @@ def run_bench(
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+#: Wall-clock slowdown (fractional) tolerated before ``--compare`` reacts.
+WALL_TOLERANCE = 0.30
+
+#: The scenario fields that define a cell's workload.  Two cells compare
+#: only when every one of these matches — ``cost-only-10k`` at 3 rounds
+#: (quick) is a different workload from the same name at 5 rounds
+#: (standard), and silently diffing them would manufacture regressions.
+WORKLOAD_KEYS = (
+    "members",
+    "mode",
+    "rounds",
+    "churn",
+    "sample_receivers",
+    "server",
+    "shards",
+    "workers",
+    "backend",
+    "kernel",
+    "bulk",
+    "threads",
+    "arena",
+)
+
+#: Execution-only speedup gates: a True→False transition between a
+#: baseline and the current run means an optimization layer started
+#: changing the payload, which is a correctness regression regardless of
+#: how fast either host is.
+COST_MATCH_GATES = (
+    "mean_batch_cost_matches_serial",
+    "mean_batch_cost_matches_object",
+    "mean_batch_cost_matches_flat",
+    "mean_batch_cost_matches_bulk",
+)
+
+
+def _hosts_comparable(current: Dict[str, object], baseline: Dict[str, object]) -> Tuple[bool, Optional[str]]:
+    """Whether wall-clock deltas between the two reports mean anything."""
+    if baseline.get("warnings"):
+        return False, "baseline was recorded with warnings (see its warnings list)"
+    if current.get("warnings"):
+        return False, "current run carries recording warnings"
+    if baseline.get("cpus") != current.get("cpus"):
+        return False, (
+            f"cpu counts differ (baseline {baseline.get('cpus')}, "
+            f"current {current.get('cpus')})"
+        )
+    return True, None
+
+
+def compare_reports(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    wall_tolerance: float = WALL_TOLERANCE,
+) -> Dict[str, List[str]]:
+    """The ``repro bench --compare`` regression gate.
+
+    Diffs a freshly measured report against a committed baseline
+    (``BENCH_hotpath.json``).  Two severities:
+
+    * **failures** — host-independent cost metrics: a cell's optimized
+      ``mean_batch_cost`` changed, or one of the execution-only
+      cost-match gates flipped True→False.  These fail the gate no
+      matter where either report was recorded.
+    * **warnings** — wall-clock slowdowns beyond ``wall_tolerance``.
+      They only *fail* when the hosts are comparable (neither report
+      carries recording warnings and the CPU counts match); a baseline
+      recorded on a 1-CPU container must not fail a multi-core rerun,
+      per the ``--record-env`` provenance convention.
+
+    Cells are matched by name **and** workload identity
+    (:data:`WORKLOAD_KEYS`); mismatched cells are listed in ``skipped``
+    rather than diffed.  Returns
+    ``{"failures", "warnings", "compared", "skipped"}``.
+    """
+    failures: List[str] = []
+    warning_lines: List[str] = []
+    compared: List[str] = []
+    skipped: List[str] = []
+
+    comparable, reason = _hosts_comparable(current, baseline)
+    if not comparable:
+        warning_lines.append(
+            f"hosts not comparable — wall-time deltas are warnings only: {reason}"
+        )
+
+    base_cells = {
+        cell["name"]: cell for cell in baseline.get("scenarios", [])
+    }
+    current_names = set()
+    for cell in current.get("scenarios", []):
+        name = cell["name"]
+        current_names.add(name)
+        base = base_cells.get(name)
+        if base is None:
+            skipped.append(f"{name}: not in baseline")
+            continue
+        mismatched = [
+            key
+            for key in WORKLOAD_KEYS
+            if cell.get(key) != base.get(key)
+        ]
+        if mismatched:
+            skipped.append(
+                f"{name}: workload differs from baseline "
+                f"({', '.join(mismatched)})"
+            )
+            continue
+        compared.append(name)
+
+        cost_now = cell["optimized"]["mean_batch_cost"]
+        cost_base = base["optimized"]["mean_batch_cost"]
+        if cost_now != cost_base:
+            failures.append(
+                f"{name}: mean_batch_cost changed "
+                f"({cost_base} -> {cost_now}) — the protocol is paying a "
+                "different key budget for the same workload"
+            )
+        for gate in COST_MATCH_GATES:
+            if base.get(gate) is True and cell.get(gate) is False:
+                failures.append(
+                    f"{name}: {gate} flipped True -> False — an "
+                    "execution-only layer started changing the payload"
+                )
+
+        wall_now = cell["optimized"]["total_s"]
+        wall_base = base["optimized"]["total_s"]
+        if wall_base and wall_now > wall_base * (1.0 + wall_tolerance):
+            slowdown = (wall_now / wall_base - 1.0) * 100.0
+            line = (
+                f"{name}: wall time {wall_now:.3f}s vs baseline "
+                f"{wall_base:.3f}s (+{slowdown:.0f}%, tolerance "
+                f"{wall_tolerance * 100:.0f}%)"
+            )
+            (failures if comparable else warning_lines).append(line)
+
+    for name in base_cells:
+        if name not in current_names:
+            skipped.append(f"{name}: baseline-only (not measured this run)")
+
+    return {
+        "failures": failures,
+        "warnings": warning_lines,
+        "compared": compared,
+        "skipped": skipped,
+    }

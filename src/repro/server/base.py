@@ -215,6 +215,7 @@ class GroupKeyServer:
             joins=len(joins),
             departures=len(leaves),
             cost=result.cost,
+            group_size=self.size,
         )
         return result
 

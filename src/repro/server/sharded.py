@@ -38,7 +38,7 @@ from repro.crypto.wrap import (
     WrapIndex,
     wrap_key,
 )
-from repro.keytree.sharded import ShardedKeyTree
+from repro.keytree.sharded import ShardedKeyTree, shard_of
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
 from repro.perf.parallel import PAYLOAD_FULL, PAYLOAD_HANDLES
@@ -116,6 +116,16 @@ class ShardedOneTreeServer(GroupKeyServer):
     @property
     def shards(self) -> int:
         return self.sharded.shards
+
+    def shard_label(self, member_id: str) -> str:
+        """Shard assignment of a member, as a metrics label value.
+
+        The latency tracker uses this so ``rekey.latency`` series carry
+        the member's hash-placement shard — stable across backends and
+        worker counts, which is what makes the ``--workers N`` merged
+        histograms byte-identical to a serial run's.
+        """
+        return str(shard_of(member_id, self.sharded.shards))
 
     @property
     def backend(self) -> str:

@@ -25,6 +25,7 @@ from repro.obs import tracing as obs_tracing
 from repro.members.durations import TwoClassDuration
 from repro.members.member import Member
 from repro.members.population import LossPopulation
+from repro.obs.latency import LatencyTracker
 from repro.network.channel import MulticastChannel
 from repro.network.loss import BernoulliLoss
 from repro.server.base import BatchResult, GroupKeyServer
@@ -161,6 +162,13 @@ class GroupRekeyingSimulation:
             self.sync_tracker = self.server.sync
         else:
             self.sync_tracker = None
+        #: Member-level time-to-new-DEK accounting (needs real receivers).
+        self.latency: Optional[LatencyTracker] = None
+        if not self.config.cost_only:
+            self.latency = LatencyTracker(
+                scheme=getattr(server, "name", type(server).__name__),
+                shard_fn=getattr(server, "shard_label", None),
+            )
 
     # ------------------------------------------------------------------
     # workload events
@@ -219,6 +227,12 @@ class GroupRekeyingSimulation:
         self.channel.unsubscribe(member_id)
         self.member_class.pop(member_id, None)
         self.member_loss.pop(member_id, None)
+        if member_id in self._out_of_sync and self.latency is not None:
+            # Terminal for the latency story: this member leaves without
+            # ever recovering — close the interval instead of leaking it.
+            self.latency.close_abandoned(
+                member_id, self.loop.now, reason="departed"
+            )
         self._out_of_sync.discard(member_id)
         if member is not None:
             self.departed.append(member)
@@ -330,6 +344,7 @@ class GroupRekeyingSimulation:
         transport_keys = transport_packets = transport_rounds = 0
         transport_elapsed = 0.0
         newly_abandoned: Set[str] = set()
+        completed: Dict[str, float] = {}
         obs_tracing.set_attr("epoch", result.epoch)
         observing = obs_metrics.active_registry() is not None
         if not self.config.cost_only:
@@ -371,6 +386,7 @@ class GroupRekeyingSimulation:
                     transport_packets = outcome.packets_sent
                     transport_rounds = outcome.rounds
                     transport_elapsed = outcome.elapsed
+                    completed = outcome.completed
                     if observing:
                         obs_metrics.inc("transport.keys_sent", outcome.keys_sent)
                         obs_metrics.inc(
@@ -402,7 +418,15 @@ class GroupRekeyingSimulation:
                             )
                         if self.sync_tracker is not None:
                             self.sync_tracker.mark_delivered(member_id, result.epoch)
+                        if self.latency is not None:
+                            self.latency.observe_delivery(
+                                member_id,
+                                result.epoch,
+                                completed.get(member_id, 0.0),
+                            )
                     deliver_span.set("receivers", delivered)
+                if self.latency is not None:
+                    self.latency.epoch_complete(result.epoch)
         if self.config.verify:
             self._verify(result)
         self.metrics.add(
@@ -436,6 +460,8 @@ class GroupRekeyingSimulation:
                 "abandonment", time=now, member_id=member_id, epoch=epoch
             )
             obs_metrics.inc("transport.abandonments")
+            if self.latency is not None:
+                self.latency.open_interval(member_id, epoch, now)
             if self.sync_tracker is not None:
                 self.sync_tracker.mark_out_of_sync(member_id, epoch, now)
             self.loop.schedule(
@@ -453,6 +479,8 @@ class GroupRekeyingSimulation:
             member.absorb(payload)
         self._out_of_sync.discard(member_id)
         self.metrics.recoveries.append(event)
+        if self.latency is not None:
+            self.latency.close_resync(member_id, self.loop.now)
 
     def _build_task(self, result: BatchResult) -> TransportTask:
         """Per-receiver interest for the batch payload (sparseness property).
@@ -535,4 +563,8 @@ class GroupRekeyingSimulation:
                         lambda s=storm: self._churn_storm(s.joins, s.leaves),
                     )
         self.loop.run_until(self.config.horizon)
+        if self.latency is not None:
+            # Close any interval still awaiting resync at the horizon so
+            # latency accounting never leaks an open story.
+            self.latency.finish(self.loop.now)
         return self.metrics

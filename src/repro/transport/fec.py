@@ -180,6 +180,13 @@ class ProactiveFecProtocol:
                                 block.direct_missing[rid] -= set(packet.key_indices)
                 round_span.set("packets", packets_this_round)
                 round_span.set("parity", parity_this_round)
+            # Member-level completion: a receiver's new DEK becomes usable
+            # the round its interest is met across every block it tracks.
+            pending_now = {rid for b in blocks for rid in b.pending_receivers()}
+            for block in blocks:
+                for rid in block.direct_missing:
+                    if rid not in pending_now and rid not in result.completed:
+                        result.completed[rid] = result.elapsed
             result.merge_round(
                 packets=packets_this_round,
                 keys=keys_this_round,

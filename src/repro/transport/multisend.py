@@ -78,6 +78,7 @@ class MultiSendProtocol:
                     outstanding[rid] -= set(packet.key_indices)
                     if not outstanding[rid]:
                         del outstanding[rid]
+                        result.completed[rid] = result.elapsed
             result.merge_round(packets=len(to_send), keys=keys_this_round)
             if not outstanding:
                 result.satisfied = True

@@ -51,6 +51,12 @@ class TransportResult:
     server's problem now, via the unicast catch-up path.  ``elapsed`` is
     the virtual time the delivery occupied: the sum of the retry policy's
     inter-round backoff delays (zero without a policy).
+
+    ``completed`` records, per satisfied receiver, the virtual elapsed
+    time at the round where its wanted set emptied — the raw material for
+    member-level time-to-new-DEK accounting.  Receivers satisfied in
+    round 0 complete at 0.0; abandoned or departed receivers never
+    appear (their stories close via resync or departure, not here).
     """
 
     rounds: int = 0
@@ -64,6 +70,8 @@ class TransportResult:
     #: transiently LAGGING in the recovery state machine's terms)
     late: Set[str] = field(default_factory=set)
     elapsed: float = 0.0
+    #: receiver_id -> virtual elapsed seconds when its interest was met
+    completed: Dict[str, float] = field(default_factory=dict)
 
     def merge_round(self, packets: int, keys: int, parity: int = 0) -> None:
         self.rounds += 1

@@ -187,6 +187,7 @@ class WkaBkrProtocol:
                         outstanding[rid] -= set(packet.key_indices)
                         if not outstanding[rid]:
                             del outstanding[rid]
+                            result.completed[rid] = result.elapsed
                 round_span.set("packets", len(packets))
                 round_span.set("pending_after", len(outstanding))
             result.merge_round(packets=len(packets), keys=keys_this_round)

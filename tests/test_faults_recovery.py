@@ -83,5 +83,7 @@ class TestLatencySummary:
         assert summary["latency_min_s"] == 30.0
         assert summary["latency_max_s"] == 90.0
         assert summary["latency_mean_s"] == pytest.approx(60.0)
+        assert summary["latency_p50_s"] == 60.0
+        assert summary["latency_p99_s"] == 90.0
         assert summary["keys_total"] == 12
         assert summary["epochs_missed_max"] == 4

@@ -96,6 +96,41 @@ def test_trace_generator_still_owns_positional(tmp_path, capsys):
     assert "membership records" in capsys.readouterr().out
 
 
+def test_trace_export_then_check_chrome(tmp_path, capsys):
+    import json
+
+    from repro.obs.check import main as check_main
+    from repro.obs.chrometrace import validate_chrome_trace
+
+    rc, trace, prom, _ = run_simulate(tmp_path, capsys)
+    assert rc == 0
+    chrome = tmp_path / "out.chrome.json"
+    rc = main(["trace", "export", str(trace), "--out", str(chrome)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert str(chrome) in out and "perfetto" in out.lower()
+    doc = json.loads(chrome.read_text())
+    counts = validate_chrome_trace(doc)
+    assert counts["X"] == obs.validate_trace_records(obs.read_trace(trace))["span"]
+    assert check_main([str(trace), str(prom), "--chrome", str(chrome)]) == 0
+    assert "chrome trace ok" in capsys.readouterr().out
+
+
+def test_trace_export_default_output_path(tmp_path, capsys):
+    rc, trace, _, _ = run_simulate(tmp_path, capsys)
+    assert rc == 0
+    rc = main(["trace", "export", str(trace)])
+    assert rc == 0
+    assert (tmp_path / (trace.name + ".chrome.json")).exists()
+    capsys.readouterr()
+
+
+def test_simulate_serve_flag_announces_endpoint(tmp_path, capsys):
+    rc, _, _, out = run_simulate(tmp_path, capsys, "--serve", "0")
+    assert rc == 0
+    assert "serving live metrics at http://127.0.0.1:" in out
+
+
 def test_bench_gate_rejects_overbudget_probes(tmp_path, capsys, monkeypatch):
     import repro.cli as cli
     import repro.perf.bench as bench

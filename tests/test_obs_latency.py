@@ -1,0 +1,247 @@
+"""Member-level time-to-new-DEK accounting (repro.obs.latency)."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.members.durations import TwoClassDuration
+from repro.members.population import LossPopulation
+from repro.obs import metrics as obs_metrics
+from repro.obs.latency import LATENCY_METRIC, LatencyTracker, exact_percentile
+from repro.obs.metrics import (
+    LATENCY_LOG_BUCKETS_S,
+    MetricsRegistry,
+    bucket_quantile,
+    merge_bucket_series,
+)
+from repro.sim.simulation import GroupRekeyingSimulation, SimulationConfig
+from repro.transport.wka_bkr import WkaBkrProtocol
+
+
+class TestExactPercentile:
+    def test_empty_is_zero(self):
+        assert exact_percentile(0, [], 0.5) == 0.0
+
+    def test_all_zeros(self):
+        assert exact_percentile(10, [], 0.99) == 0.0
+
+    def test_rank_falls_in_zeros(self):
+        # 9 zeros + one 30s straggler: p50 is still 0, p99 is the tail.
+        assert exact_percentile(9, [30.0], 0.50) == 0.0
+        assert exact_percentile(9, [30.0], 0.99) == 30.0
+
+    def test_exact_rank_convention(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert exact_percentile(0, values, 0.50) == 2.0
+        assert exact_percentile(0, values, 0.75) == 3.0
+        assert exact_percentile(0, values, 1.00) == 4.0
+
+
+class TestBucketQuantile:
+    def test_empty(self):
+        assert bucket_quantile([1.0, 2.0], [0, 0, 0], 0.5) is None
+
+    def test_returns_bucket_upper_bound(self):
+        bounds = [1.0, 2.0, 4.0]
+        counts = [5, 3, 2, 0]  # + overflow
+        assert bucket_quantile(bounds, counts, 0.50) == 1.0
+        assert bucket_quantile(bounds, counts, 0.90) == 4.0
+
+    def test_overflow_rank_is_none(self):
+        assert bucket_quantile([1.0], [1, 9], 0.99) is None
+
+    def test_merge_bucket_series(self):
+        merged = merge_bucket_series(
+            [
+                {"buckets": [1, 0, 2], "sum": 5.0, "count": 3},
+                {"buckets": [0, 4, 1], "sum": 9.0, "count": 5},
+            ]
+        )
+        assert merged == {"buckets": [1, 4, 3], "sum": 14.0, "count": 8}
+
+
+class TestLatencyTracker:
+    def test_round0_deliveries_are_zero_latency(self):
+        tracker = LatencyTracker(scheme="one")
+        for i in range(4):
+            tracker.observe_delivery(f"m{i}", epoch=1, latency=0.0)
+        tracker.observe_delivery("slow", epoch=1, latency=3.5)
+        stats = tracker.epoch_percentiles(1)
+        assert stats["members"] == 5
+        assert stats["p50"] == 0.0
+        assert stats["p99"] == 3.5
+        assert stats["max"] == 3.5
+
+    def test_resync_closes_the_open_interval(self):
+        tracker = LatencyTracker(scheme="one")
+        tracker.open_interval("m", epoch=2, opened_at=100.0)
+        assert tracker.open_count == 1
+        latency = tracker.close_resync("m", now=160.0)
+        assert latency == pytest.approx(60.0)
+        assert tracker.open_count == 0
+        # The interval landed in its opening epoch's distribution.
+        assert tracker.epoch_percentiles(2)["max"] == 60.0
+
+    def test_open_interval_keeps_the_earliest(self):
+        tracker = LatencyTracker()
+        tracker.open_interval("m", epoch=2, opened_at=100.0)
+        tracker.open_interval("m", epoch=3, opened_at=500.0)
+        assert tracker.close_resync("m", now=600.0) == pytest.approx(500.0)
+
+    def test_close_without_open_is_a_noop(self):
+        tracker = LatencyTracker()
+        assert tracker.close_resync("ghost", now=5.0) is None
+        assert tracker.close_abandoned("ghost", now=5.0, reason="departed") is None
+
+    def test_abandoned_excluded_from_percentiles(self):
+        tracker = LatencyTracker()
+        tracker.observe_delivery("a", epoch=1, latency=0.0)
+        tracker.open_interval("b", epoch=1, opened_at=60.0)
+        tracker.close_abandoned("b", now=400.0, reason="departed")
+        stats = tracker.epoch_percentiles(1)
+        assert stats["members"] == 1
+        assert stats["max"] == 0.0
+        summary = tracker.summary()
+        assert summary["abandoned_unrecovered"] == 1
+        assert summary["count"] == 1
+
+    def test_finish_closes_leaks(self):
+        tracker = LatencyTracker()
+        tracker.open_interval("m1", epoch=1, opened_at=10.0)
+        tracker.open_interval("m2", epoch=2, opened_at=20.0)
+        assert tracker.finish(now=100.0) == 2
+        assert tracker.open_count == 0
+        assert tracker.summary()["abandoned_unrecovered"] == 2
+
+    def test_summary_quantiles_and_worst(self):
+        tracker = LatencyTracker()
+        for i in range(98):
+            tracker.observe_delivery(f"m{i}", epoch=1, latency=0.0)
+        tracker.observe_delivery("late", epoch=1, latency=5.0)
+        tracker.open_interval("worst", epoch=1, opened_at=0.0)
+        tracker.close_resync("worst", now=90.0)
+        summary = tracker.summary()
+        assert summary["count"] == 100
+        assert summary["p50_s"] == 0.0
+        assert summary["p99_s"] == 5.0
+        assert summary["max_s"] == 90.0
+        assert summary["late"] == 1
+        assert summary["resyncs"] == 1
+        assert summary["worst"][0] == {
+            "member": "worst", "epoch": 1, "latency_s": 90.0, "state": "resync",
+        }
+
+    def test_histogram_series_labeled_by_scheme_shard_state(self):
+        registry = MetricsRegistry()
+        with obs_metrics.collecting(registry):
+            tracker = LatencyTracker(
+                scheme="sharded-keytree", shard_fn=lambda m: "2"
+            )
+            tracker.observe_delivery("a", epoch=1, latency=0.0)
+            tracker.observe_delivery("b", epoch=1, latency=1.5)
+            tracker.open_interval("c", epoch=1, opened_at=0.0)
+            tracker.close_resync("c", now=30.0)
+        entry = registry.to_json()[LATENCY_METRIC]
+        assert entry["labels"] == ["scheme", "shard", "sync_state"]
+        states = {key.split("|")[2] for key in entry["series"]}
+        assert states == {"delivered", "late", "resync"}
+        assert all(key.startswith("sharded-keytree|2|") for key in entry["series"])
+
+    def test_events_emitted_only_under_an_active_log(self):
+        tracker = LatencyTracker()
+        # No active log: recording still works, nothing raises.
+        tracker.observe_delivery("a", epoch=1, latency=2.0)
+        with obs.observe(clock=lambda: 0.0) as bundle:
+            tracker.observe_delivery("b", epoch=1, latency=2.0)
+            tracker.open_interval("c", epoch=1, opened_at=0.0)
+            tracker.close_resync("c", now=9.0)
+            tracker.open_interval("d", epoch=1, opened_at=0.0)
+            tracker.close_abandoned("d", now=5.0, reason="departed")
+            tracker.epoch_complete(1)
+        types = [r["type"] for r in bundle.events.records]
+        assert types.count("dek_adopted") == 2  # late + resync, never zero
+        assert types.count("resync_complete") == 1
+        assert types.count("abandoned_unrecovered") == 1
+        assert types.count("epoch_latency") == 1
+
+    def test_registry_merge_sums_latency_series(self):
+        main, worker = MetricsRegistry(), MetricsRegistry()
+        for registry, latencies in ((main, [0.0, 3.0]), (worker, [3.0, 700.0])):
+            with obs_metrics.collecting(registry):
+                tracker = LatencyTracker(scheme="one")
+                for i, latency in enumerate(latencies):
+                    tracker.observe_delivery(f"m{i}", epoch=1, latency=latency)
+        main.merge(worker.snapshot())
+        merged = main.to_json()[LATENCY_METRIC]
+        late = merged["series"]["one|0|late"]
+        assert late["count"] == 3
+        assert late["sum"] == pytest.approx(706.0)
+
+
+def _sharded_latency_snapshot(workers: int, backend: str):
+    from repro.server.sharded import ShardedOneTreeServer
+
+    server = ShardedOneTreeServer(shards=4, workers=workers, backend=backend)
+    config = SimulationConfig(
+        arrival_rate=1.0,
+        rekey_period=60.0,
+        horizon=480.0,
+        duration_model=TwoClassDuration(180.0, 2400.0, 0.7),
+        loss_population=LossPopulation.two_point(),
+        transport=WkaBkrProtocol(keys_per_packet=16),
+        verify=False,
+        seed=11,
+    )
+    try:
+        with obs.observe() as bundle:
+            GroupRekeyingSimulation(server, config).run()
+    finally:
+        server.close()
+    return bundle.registry.to_json().get(LATENCY_METRIC)
+
+
+class TestShardedLatencyMerge:
+    def test_workers4_histogram_matches_serial_byte_for_byte(self):
+        serial = _sharded_latency_snapshot(workers=1, backend="serial")
+        pooled = _sharded_latency_snapshot(workers=4, backend="thread")
+        assert serial is not None and serial["series"], "no latency observed"
+        # Shard labels must be real shard indices, not the "0" fallback.
+        shards = {key.split("|")[1] for key in serial["series"]}
+        assert len(shards) > 1
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            pooled, sort_keys=True
+        )
+
+
+class TestChaosLatencyBattery:
+    def test_blackout_abandonments_all_reach_a_terminal(self):
+        from repro.faults.chaos import run_chaos_case
+
+        with obs.observe() as bundle:
+            entry = run_chaos_case(
+                "one", "blackout-resync", seed=7, horizon=900.0
+            )
+        counts = {}
+        for record in bundle.events.records:
+            counts[record["type"]] = counts.get(record["type"], 0) + 1
+        abandonments = counts.get("abandonment", 0)
+        assert abandonments > 0, "schedule produced no abandonments"
+        assert abandonments == (
+            counts.get("resync_complete", 0)
+            + counts.get("abandoned_unrecovered", 0)
+        )
+        ttd = entry["time_to_new_dek"]
+        assert ttd["open"] == 0
+        assert ttd["count"] > 0
+        assert ttd["resyncs"] + ttd["abandoned_unrecovered"] == abandonments
+        assert ttd["p99_s"] >= ttd["p50_s"] >= 0.0
+        # The registry double-books the same stories.
+        hist = bundle.registry.to_json()[LATENCY_METRIC]
+        by_state = {}
+        for key, slot in hist["series"].items():
+            state = key.split("|")[2]
+            by_state[state] = by_state.get(state, 0) + slot["count"]
+        assert by_state.get("resync", 0) == ttd["resyncs"]
+        assert by_state.get("abandoned", 0) == ttd["abandoned_unrecovered"]
+        assert hist["buckets"] == list(LATENCY_LOG_BUCKETS_S)

@@ -1,0 +1,71 @@
+"""The live Prometheus endpoint (repro.obs.serve)."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry, parse_prometheus
+from repro.obs.serve import PROMETHEUS_CONTENT_TYPE, MetricsServer
+
+
+def scrape(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers.get("Content-Type"), (
+            response.read().decode("utf-8")
+        )
+
+
+class TestMetricsServer:
+    def test_serves_pinned_registry_on_ephemeral_port(self):
+        registry = MetricsRegistry()
+        registry.inc("server.rekeys", 3)
+        with MetricsServer(registry=registry, port=0) as server:
+            assert server.port != 0
+            status, content_type, body = scrape(server.url)
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        assert parse_prometheus(body)["repro_server_rekeys_total"] == 3
+
+    def test_scrapes_see_live_updates(self):
+        registry = MetricsRegistry()
+        with MetricsServer(registry=registry, port=0) as server:
+            registry.inc("server.rekeys")
+            _, _, before = scrape(server.url)
+            registry.inc("server.rekeys")
+            _, _, after = scrape(server.url)
+        assert parse_prometheus(before)["repro_server_rekeys_total"] == 1
+        assert parse_prometheus(after)["repro_server_rekeys_total"] == 2
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(registry=MetricsRegistry(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                scrape(server.url.replace("/metrics", "/other"))
+        assert err.value.code == 404
+
+    def test_root_path_serves_the_exposition_too(self):
+        registry = MetricsRegistry()
+        registry.inc("server.rekeys")
+        with MetricsServer(registry=registry, port=0) as server:
+            status, _, body = scrape(server.url.replace("/metrics", "/"))
+        assert status == 200 and "repro_server_rekeys_total" in body
+
+    def test_unpinned_server_follows_the_active_registry(self):
+        with MetricsServer(port=0) as server:
+            # Nothing active: empty exposition, not an error.
+            status, _, body = scrape(server.url)
+            assert status == 200 and body == ""
+            registry = MetricsRegistry()
+            registry.inc("server.rekeys", 5)
+            with obs_metrics.collecting(registry):
+                _, _, live = scrape(server.url)
+            assert parse_prometheus(live)["repro_server_rekeys_total"] == 5
+
+    def test_stop_is_idempotent_and_releases_state(self):
+        server = MetricsServer(registry=MetricsRegistry(), port=0).start()
+        url = server.url
+        server.stop()
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            scrape(url)
